@@ -1,0 +1,26 @@
+# Convenience targets for the scap reproduction.
+
+.PHONY: test bench repro flow cover fmt vet
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+repro:
+	go run ./cmd/repro -scale 4 | tee docs/report_scale4.txt
+
+# One-shot release pipeline: all artifacts under flow_out/.
+flow:
+	go run ./cmd/flow -scale 8 -out flow_out
+
+cover:
+	go test ./... -coverprofile=cover.out && go tool cover -func=cover.out | tail -1
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

@@ -1,0 +1,288 @@
+package scap
+
+import (
+	"sync"
+	"testing"
+
+	"scap/internal/atpg"
+	"scap/internal/core"
+	"scap/internal/pgrid"
+	"scap/internal/power"
+	"scap/internal/repro"
+	"scap/internal/sim"
+	"scap/internal/soc"
+	"scap/internal/sta"
+)
+
+// benchScale keeps a full table/figure regeneration affordable inside the
+// benchmark harness; `go run ./cmd/repro` uses the larger default scale.
+const benchScale = 16
+
+var (
+	bOnce sync.Once
+	bRun  *repro.Runner
+	bErr  error
+)
+
+func benchRunner(b *testing.B) *repro.Runner {
+	b.Helper()
+	bOnce.Do(func() {
+		bRun, bErr = repro.New(benchScale)
+		if bErr != nil {
+			return
+		}
+		// Warm the flow caches so per-experiment benches measure the
+		// experiment itself, not the shared ATPG runs.
+		if _, _, err := bRun.Conventional(); err != nil {
+			bErr = err
+			return
+		}
+		_, _, bErr = bRun.NewProcedure()
+	})
+	if bErr != nil {
+		b.Fatal(bErr)
+	}
+	return bRun
+}
+
+// benchExperiment measures one table/figure regeneration.
+func benchExperiment(b *testing.B, id string) {
+	r := benchRunner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DesignCharacteristics(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2ClockDomains(b *testing.B)          { benchExperiment(b, "table2") }
+func BenchmarkTable3StatisticalIRDrop(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkTable4CAPvsSCAP(b *testing.B)             { benchExperiment(b, "table4") }
+func BenchmarkFig1Floorplan(b *testing.B)               { benchExperiment(b, "fig1") }
+func BenchmarkFig2ConventionalSCAP(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3DynamicIRDrop(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkFig4CoverageCurves(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5SCAPCalculator(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6NewProcedureSCAP(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7DelayScaling(b *testing.B)            { benchExperiment(b, "fig7") }
+
+// BenchmarkEndToEndFlows measures the two full pattern-generation flows on
+// a freshly built system (the paper's complete methodology).
+func BenchmarkEndToEndFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := core.Build(core.DefaultConfig(32))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.ConventionalFlow(0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.NewProcedureFlow(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches: the design choices DESIGN.md calls out ------------
+
+// BenchmarkAblationFillStrategies compares the four don't-care fills on
+// pattern count and hot-block SCAP (paper Section 3.1: fill-0 wins).
+func BenchmarkAblationFillStrategies(b *testing.B) {
+	r := benchRunner(b)
+	sys, stat := r.Sys, r.Stat
+	for _, fill := range []atpg.Fill{atpg.FillRandom, atpg.Fill0, atpg.Fill1, atpg.FillAdjacent, atpg.FillBlockAware} {
+		fill := fill
+		b.Run(fill.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fr, err := sys.StepFlow("ablation-"+fill.String(), 0, core.StepBlocks, fill)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prof, err := sys.ProfilePatterns(fr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				above := core.AboveThreshold(prof, soc.B5, stat.ThresholdMW[soc.B5])
+				b.ReportMetric(float64(len(fr.Patterns)), "patterns")
+				b.ReportMetric(100*float64(above)/float64(len(prof)), "%above")
+				b.ReportMetric(100*fr.Counts.TestCoverage(), "%coverage")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockSteps compares the paper's 3-step block ordering
+// against a one-shot all-blocks fill-0 run.
+func BenchmarkAblationBlockSteps(b *testing.B) {
+	r := benchRunner(b)
+	sys, stat := r.Sys, r.Stat
+	variants := []struct {
+		name  string
+		steps [][]int
+	}{
+		{"one-shot", [][]int{{soc.B1, soc.B2, soc.B3, soc.B4, soc.B5, soc.B6}}},
+		{"three-step", core.StepBlocks},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fr, err := sys.StepFlow("ablation-"+v.name, 0, v.steps, atpg.Fill0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prof, err := sys.ProfilePatterns(fr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				above := core.AboveThreshold(prof, soc.B5, stat.ThresholdMW[soc.B5])
+				b.ReportMetric(float64(len(fr.Patterns)), "patterns")
+				b.ReportMetric(100*float64(above)/float64(len(prof)), "%above")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCAPvsSCAPScreening counts the risky patterns the CAP
+// model misses (the paper's Section 2.3 motivation for SCAP).
+func BenchmarkAblationCAPvsSCAPScreening(b *testing.B) {
+	r := benchRunner(b)
+	_, prof, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	thr := r.Stat.ThresholdMW[soc.B5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scapAbove, capAbove := 0, 0
+		for j := range prof {
+			if prof[j].BlockSCAPVdd[soc.B5] > thr {
+				scapAbove++
+			}
+			// CAP spreads the same energy over the full period.
+			capEquiv := prof[j].BlockSCAPVdd[soc.B5] * prof[j].STW / r.Sys.Period
+			if capEquiv > thr {
+				capAbove++
+			}
+		}
+		b.ReportMetric(float64(scapAbove), "scap-flagged")
+		b.ReportMetric(float64(capAbove), "cap-flagged")
+		b.ReportMetric(float64(scapAbove-capAbove), "missed-by-cap")
+	}
+}
+
+// BenchmarkAblationSTWEstimate compares the measured per-pattern STW with
+// the STA worst-arrival bound used as a simulation-free estimate.
+func BenchmarkAblationSTWEstimate(b *testing.B) {
+	r := benchRunner(b)
+	_, prof, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sta.Analyze(r.Sys.D, r.Sys.Delays, r.Sys.Tree, 0, r.Sys.Period)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for j := range prof {
+			sum += prof[j].STW
+		}
+		mean := sum / float64(len(prof))
+		b.ReportMetric(mean, "meanSTWns")
+		b.ReportMetric(res.MaxArrival, "staBoundNs")
+		b.ReportMetric(res.MaxArrival/mean, "bound/mean")
+	}
+}
+
+// BenchmarkAblationGridResolution sweeps the IR-drop mesh resolution.
+func BenchmarkAblationGridResolution(b *testing.B) {
+	r := benchRunner(b)
+	sys := r.Sys
+	cur := power.StatCurrents(sys.D, sys.Cfg.ToggleProb, sys.Period/2)
+	for i := range cur {
+		cur[i] /= 2
+	}
+	for _, n := range []int{20, 40, 80} {
+		n := n
+		b.Run(map[int]string{20: "N20", 40: "N40", 80: "N80"}[n], func(b *testing.B) {
+			p := sys.Cfg.Grid
+			p.N = n
+			g, err := pgrid.New(sys.FP, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inj := g.InjectInstCurrents(sys.D, cur)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := g.Solve(inj)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(sol.Worst*1000, "worst-mV")
+				b.ReportMetric(float64(sol.Iterations), "iters")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLOCvsLOS compares the two launch mechanisms.
+func BenchmarkAblationLOCvsLOS(b *testing.B) {
+	r := benchRunner(b)
+	sys := r.Sys
+	for _, mode := range []atpg.LaunchMode{atpg.LOC, atpg.LOS} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l := sys.NewFaultList()
+				res, err := sys.ATPG(l, atpg.Options{
+					Dom: 0, Mode: mode, Fill: atpg.FillRandom, Seed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Counts.TestCoverage(), "%coverage")
+				b.ReportMetric(float64(len(res.Patterns)), "patterns")
+			}
+		})
+	}
+}
+
+// BenchmarkTimingSimulation measures the event-driven simulator alone.
+func BenchmarkTimingSimulation(b *testing.B) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	meter := power.NewMeter(sys.D)
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	p := &conv.Patterns[0]
+	v2 := sys.LaunchState(p.V1, p.PIs, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meter.Reset()
+		if _, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicIRDrop measures one full per-pattern IR-drop solve.
+func BenchmarkDynamicIRDrop(b *testing.B) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Sys.DynamicIRDrop(&conv.Patterns[0], 0, core.ModelSCAP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

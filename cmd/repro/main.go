@@ -1,0 +1,57 @@
+// Command repro regenerates the paper's tables and figures on the
+// synthetic SOC.
+//
+// Usage:
+//
+//	repro [-scale N] [-exp id] [-list]
+//
+// With no -exp it runs every experiment (table1..table4, fig1..fig7) and
+// prints the combined report; -scale selects the design scale divisor
+// (default 8, ~2.9K scan flops; 1 is the paper's full ~23K size).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scap/internal/repro"
+)
+
+func main() {
+	scale := flag.Int("scale", 4, "design scale divisor (1 = paper size)")
+	exp := flag.String("exp", "", "experiment id ("+strings.Join(repro.Experiments, ", ")+"); empty = all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range repro.Experiments {
+			fmt.Println(id)
+		}
+		return
+	}
+	t0 := time.Now()
+	r, err := repro.New(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("system built at scale 1/%d in %v: %d instances, %d nets, %d scan flops\n\n",
+		*scale, time.Since(t0).Round(time.Millisecond),
+		r.Sys.D.NumInsts(), r.Sys.D.NumNets(), len(r.Sys.D.Flops))
+
+	var out string
+	if *exp == "" {
+		out, err = r.All()
+	} else {
+		out, err = r.Run(*exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	fmt.Printf("\ntotal runtime %v\n", time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,50 @@
+package scap_test
+
+import (
+	"fmt"
+
+	"scap"
+)
+
+// ExampleScheduleOptimal schedules three clock domains under a shared
+// power budget: the two smaller ones can run in parallel.
+func ExampleScheduleOptimal() {
+	tests := []scap.DomainTest{
+		{Name: "cpu", TimeUS: 900, PowerMW: 220},
+		{Name: "usb", TimeUS: 300, PowerMW: 90},
+		{Name: "vga", TimeUS: 250, PowerMW: 80},
+	}
+	s, err := scap.ScheduleOptimal(tests, 250)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sessions: %d, makespan: %.0f µs\n", len(s.Sessions), s.MakespanUS)
+	// Output:
+	// sessions: 2, makespan: 1200 µs
+}
+
+// ExampleBuild shows the minimal flow: build the SOC, derive the hot
+// block's power threshold, generate patterns and screen them. (Numbers
+// depend on the scale and seed; this example only demonstrates the calls.)
+func ExampleBuild() {
+	sys, err := scap.Build(scap.DefaultConfig(96))
+	if err != nil {
+		panic(err)
+	}
+	stat, err := sys.Statistical()
+	if err != nil {
+		panic(err)
+	}
+	flow, err := sys.ConventionalFlow(0)
+	if err != nil {
+		panic(err)
+	}
+	prof, err := sys.ProfilePatterns(flow)
+	if err != nil {
+		panic(err)
+	}
+	hot := scap.AboveThreshold(prof, stat.HotBlock, stat.ThresholdMW[stat.HotBlock])
+	fmt.Println(len(prof) > 0, hot >= 0)
+	// Output:
+	// true true
+}

@@ -1,0 +1,61 @@
+// Block-aware ATPG: the paper's headline experiment in miniature. Two
+// pattern sets for the dominant clock domain — conventional random-fill
+// versus the 3-step block-targeted fill-0 procedure — are compared on
+// pattern count, coverage, and how many patterns drive the hot central
+// block B5 beyond its statistical power threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scap"
+	"scap/internal/soc"
+	"scap/internal/textplot"
+)
+
+func main() {
+	sys, err := scap.Build(scap.DefaultConfig(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat, err := sys.Statistical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	thr := stat.ThresholdMW[soc.B5]
+	fmt.Printf("B5 SCAP threshold from statistical analysis: %.2f mW\n\n", thr)
+
+	run := func(name string, flow func(int) (*scap.FlowResult, error)) []scap.PatternProfile {
+		fr, err := flow(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, err := sys.ProfilePatterns(fr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		above := scap.AboveThreshold(prof, soc.B5, thr)
+		fmt.Printf("%-14s: %4d patterns, %.1f%% coverage, %d above threshold (%.1f%%)\n",
+			name, len(fr.Patterns), 100*fr.Counts.TestCoverage(),
+			above, 100*float64(above)/float64(len(prof)))
+		return prof
+	}
+
+	convProf := run("conventional", sys.ConventionalFlow)
+	newProf := run("new procedure", sys.NewProcedureFlow)
+
+	series := func(prof []scap.PatternProfile) []float64 {
+		ys := make([]float64, len(prof))
+		for i := range prof {
+			ys[i] = prof[i].BlockSCAPVdd[soc.B5]
+		}
+		return ys
+	}
+	fmt.Println()
+	fmt.Print(textplot.Scatter(series(convProf), thr, 72, 12, "B5 SCAP, conventional (Fig. 2 shape)", "mW"))
+	fmt.Println()
+	fmt.Print(textplot.Scatter(series(newProf), thr, 72, 12, "B5 SCAP, new procedure (Fig. 6 shape)", "mW"))
+	fmt.Println("\nnote the quiet prefix while steps 1-2 test the other blocks, and the")
+	fmt.Println("burst when step 3 finally targets B5 — the paper's Figure 6.")
+}

@@ -1,0 +1,90 @@
+// IR-drop debug: the workflow the paper prescribes for a pattern suspected
+// of failing silicon due to supply noise — solve its dynamic IR-drop map,
+// then re-simulate with every cell and clock-tree stage derated by the
+// local voltage collapse and inspect which endpoints slow down (Region 1)
+// or speed up (Region 2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"scap"
+	"scap/internal/soc"
+	"scap/internal/textplot"
+)
+
+func main() {
+	sys, err := scap.Build(scap.DefaultConfig(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow, err := sys.ConventionalFlow(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := sys.ProfilePatterns(flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Debug the hottest pattern, as a failing-pattern triage would.
+	hot := 0
+	for i := range prof {
+		if prof[i].ChipSCAPVdd > prof[hot].ChipSCAPVdd {
+			hot = i
+		}
+	}
+	fmt.Printf("debugging pattern #%d: chip SCAP %.1f mW, STW %.2f ns\n\n",
+		hot, prof[hot].ChipSCAPVdd, prof[hot].STW)
+
+	dyn, err := sys.DynamicIRDrop(&flow.Patterns[hot], 0, scap.ModelSCAP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nb := sys.D.NumBlocks
+	fmt.Printf("worst drops: VDD %.3f V, VSS %.3f V\n", dyn.WorstVDD[nb], dyn.WorstVSS[nb])
+	tenPct := 0.1 * sys.D.Lib.VDD
+	fmt.Print(textplot.Heatmap(dyn.SolVDD.Drop, dyn.SolVDD.N, tenPct,
+		fmt.Sprintf("VDD drop map ('@' beyond 10%%VDD = %.2f V)", tenPct)))
+
+	imp, _, err := sys.DelayImpact(&flow.Patterns[hot], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-simulation with scaled delays: %d endpoints slower, %d faster, worst +%.1f%%\n",
+		imp.Slowed, imp.Sped, 100*imp.MaxSlowdownFrac)
+
+	// The five most-slowed endpoints, with their blocks: these are the
+	// flops a tester would see failing although the silicon is good.
+	type row struct {
+		flop  string
+		block string
+		delta float64
+		nom   float64
+	}
+	var rows []row
+	for i := range imp.Endpoints {
+		ep := &imp.Endpoints[i]
+		if !ep.Active {
+			continue
+		}
+		rows = append(rows, row{
+			flop:  sys.D.Inst(ep.Flop).Name,
+			block: soc.BlockName(ep.Block),
+			delta: ep.Delta(), nom: ep.Nominal,
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].delta > rows[b].delta })
+	fmt.Println("\nmost-impacted endpoints (overkill candidates):")
+	for i := 0; i < 5 && i < len(rows); i++ {
+		fmt.Printf("  %-24s %-3s  %.3f ns -> %+.3f ns\n",
+			rows[i].flop, rows[i].block, rows[i].nom, rows[i].delta)
+	}
+	if len(rows) > 0 {
+		last := rows[len(rows)-1]
+		fmt.Printf("\nand the other direction (capture clock slowed more than data):\n")
+		fmt.Printf("  %-24s %-3s  %.3f ns -> %+.3f ns\n",
+			last.flop, last.block, last.nom, last.delta)
+	}
+}

@@ -1,0 +1,260 @@
+package atpg
+
+import (
+	"fmt"
+
+	"scap/internal/fault"
+	"scap/internal/faultsim"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/scan"
+)
+
+// Options configures one ATPG run.
+type Options struct {
+	// Dom is the target clock domain; patterns launch and capture only its
+	// flops (the paper generates transition patterns per clock domain).
+	Dom int
+	// Mode selects launch-off-capture (default) or launch-off-shift.
+	Mode LaunchMode
+	// Fill is the don't-care fill strategy.
+	Fill Fill
+	// Seed drives backtrace tie-breaking and random fill.
+	Seed int64
+	// BacktrackLimit aborts a fault after this many backtracks (default 64).
+	BacktrackLimit int
+	// MaxPatterns stops the run after this many patterns (0 = unlimited).
+	MaxPatterns int
+	// Blocks restricts the targeted faults to the given floorplan blocks
+	// (nil targets every block) — the knob behind the paper's Step 1/2/3
+	// procedure.
+	Blocks []int
+	// Faults explicitly lists target fault indexes, overriding Dom/Blocks
+	// selection (still simulated and dropped against the whole set).
+	Faults []int
+	// PatternBase offsets the pattern indexes recorded in the fault list's
+	// DetectedBy, so multi-step flows keep a global numbering.
+	PatternBase int
+	// Compaction bounds dynamic compaction: the maximum number of
+	// secondary faults merged into one pattern (0 uses the default of 32,
+	// negative disables compaction). The paper notes conventional ATPG
+	// "targets as many faults per pattern as possible".
+	Compaction int
+	// CareBudget stops compaction once the cube holds this many state care
+	// bits (0 = unlimited). Low-power flows use it to keep the per-pattern
+	// care-bit *density* scale-invariant: at reduced design scale an
+	// unbounded cube would cover a large fraction of a small block and
+	// defeat the fill-0 quieting that full-size designs get for free.
+	CareBudget int
+}
+
+// Pattern is one fully specified launch-off-capture (or -shift) test:
+// the scan-in state V1 and the constant primary-input values. V2 derives
+// from V1 at launch.
+type Pattern struct {
+	V1  []logic.V // per flop, design flop order
+	PIs []logic.V // per primary input
+	// Target is the fault index the pattern was generated for.
+	Target int
+	// Secondaries lists further fault indexes merged into the pattern by
+	// dynamic compaction (each proven detected by construction).
+	Secondaries []int
+	// Step tags the generation step in multi-step flows (0-based).
+	Step int
+}
+
+// Result is the outcome of one ATPG run.
+type Result struct {
+	Dom      int
+	Mode     LaunchMode
+	Fill     Fill
+	Patterns []Pattern
+	// Subset is the fault-index set that was targeted.
+	Subset []int
+	// Counts is the subset's status tally after the run.
+	Counts fault.Counts
+}
+
+// Run generates transition-fault patterns for the selected faults with
+// PODEM, fills don't-cares, and fault-simulates each 64-pattern batch to
+// drop collaterally detected faults. The fault list l is updated in place
+// (statuses, detecting pattern indexes).
+func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result, error) {
+	d := l.D
+	if opts.BacktrackLimit <= 0 {
+		opts.BacktrackLimit = 64
+	}
+	subset := opts.Faults
+	if subset == nil {
+		subset = l.InDomain(opts.Dom)
+		if opts.Blocks != nil {
+			want := map[int]bool{}
+			for _, b := range opts.Blocks {
+				want[b] = true
+			}
+			filtered := subset[:0:0]
+			for _, fi := range subset {
+				if want[l.Faults[fi].Block] {
+					filtered = append(filtered, fi)
+				}
+			}
+			subset = filtered
+		}
+	}
+
+	// Faults on primary-input nets cannot launch a transition: the paper's
+	// flow holds PIs constant across V1/V2 (low-cost tester).
+	for _, fi := range subset {
+		if l.Status[fi] == fault.Undetected && d.Nets[l.Faults[fi].Net].PI >= 0 {
+			l.Status[fi] = fault.Untestable
+		}
+	}
+
+	cfg := engineConfig{
+		dom:   opts.Dom,
+		mode:  opts.Mode,
+		seed:  opts.Seed,
+		limit: opts.BacktrackLimit,
+	}
+	if opts.Blocks != nil {
+		cfg.prefer = map[int]bool{}
+		for _, b := range opts.Blocks {
+			cfg.prefer[b] = true
+		}
+	}
+	cfg.excludePI = map[int]bool{}
+	cfg.constPI = map[int]logic.V{}
+	if sc != nil {
+		cfg.constPI[d.Nets[sc.SE].PI] = logic.Zero
+		for _, si := range sc.SIs {
+			if opts.Mode == LOC {
+				cfg.excludePI[d.Nets[si].PI] = true
+			}
+		}
+		if opts.Mode == LOS {
+			cfg.shiftPrev = shiftSources(d, sc)
+		}
+	}
+	eng, err := newEngine(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("atpg: %w", err)
+	}
+	fil := newFiller(d, sc, opts.Fill, opts.Seed+1)
+	fil.targetBlocks = cfg.prefer // FillBlockAware randomizes only these
+
+	res := &Result{Dom: opts.Dom, Mode: opts.Mode, Fill: opts.Fill, Subset: subset}
+
+	var slotV1 [][]logic.V
+	var slotPI [][]logic.V
+	flush := func() {
+		if len(slotV1) == 0 {
+			return
+		}
+		v1W := make([]logic.Word, len(d.Flops))
+		piW := make([]logic.Word, len(d.PIs))
+		for s := range slotV1 {
+			for i, v := range slotV1[s] {
+				v1W[i] = v1W[i].Set(uint(s), v)
+			}
+			for i, v := range slotPI[s] {
+				piW[i] = piW[i].Set(uint(s), v)
+			}
+		}
+		valid := ^uint64(0)
+		if len(slotV1) < 64 {
+			valid = (uint64(1) << uint(len(slotV1))) - 1
+		}
+		base := opts.PatternBase + len(res.Patterns) - len(slotV1)
+		var b *faultsim.Batch
+		if opts.Mode == LOS {
+			b = fs.GoodSimShift(v1W, piW, opts.Dom, valid, cfg.shiftPrev)
+		} else {
+			b = fs.GoodSim(v1W, piW, opts.Dom, valid)
+		}
+		fs.Drop(l, subset, b, base)
+		slotV1, slotPI = slotV1[:0], slotPI[:0]
+	}
+
+	maxSec := opts.Compaction
+	if maxSec == 0 {
+		maxSec = 32
+	}
+	for si, fi := range subset {
+		if opts.MaxPatterns > 0 && len(res.Patterns) >= opts.MaxPatterns {
+			break
+		}
+		if l.Status[fi] != fault.Undetected {
+			continue
+		}
+		cube, disp := eng.generate(&l.Faults[fi])
+		switch disp {
+		case genAborted:
+			l.Status[fi] = fault.Aborted
+			continue
+		case genUntestable:
+			l.Status[fi] = fault.Untestable
+			continue
+		}
+		// Dynamic compaction: extend the cube with further undetected
+		// faults until a failure streak or the secondary budget is hit.
+		var secondaries []int
+		if maxSec > 0 {
+			streak := 0
+			for sj := si + 1; sj < len(subset) && len(secondaries) < maxSec && streak < 8; sj++ {
+				if opts.CareBudget > 0 && len(cube.State) >= opts.CareBudget {
+					break
+				}
+				fj := subset[sj]
+				if l.Status[fj] != fault.Undetected {
+					continue
+				}
+				c2, d2 := eng.generateWith(&l.Faults[fj], cube)
+				if d2 != genSuccess {
+					streak++
+					continue
+				}
+				streak = 0
+				for k, v := range c2.State {
+					cube.State[k] = v
+				}
+				for k, v := range c2.PIs {
+					cube.PIs[k] = v
+				}
+				secondaries = append(secondaries, fj)
+			}
+		}
+		v1, pis := fil.Expand(cube)
+		patIdx := opts.PatternBase + len(res.Patterns)
+		res.Patterns = append(res.Patterns, Pattern{
+			V1: v1, PIs: pis, Target: fi, Secondaries: secondaries,
+		})
+		l.MarkDetected(fi, patIdx)
+		for _, fj := range secondaries {
+			l.MarkDetected(fj, patIdx)
+		}
+		slotV1 = append(slotV1, v1)
+		slotPI = append(slotPI, pis)
+		if len(slotV1) == 64 {
+			flush()
+		}
+	}
+	flush()
+
+	res.Counts = l.CountOf(subset)
+	return res, nil
+}
+
+// shiftSources maps each flop to the frame-1 net that reaches it after one
+// scan shift: the previous chain cell's output, or the chain's scan-in pin
+// for the first cell. This is the launch-off-shift transfer function.
+func shiftSources(d *netlist.Design, sc *scan.Scan) map[netlist.InstID]netlist.NetID {
+	src := make(map[netlist.InstID]netlist.NetID, len(d.Flops))
+	for ci := range sc.Chains {
+		prev := sc.SIs[ci]
+		for _, f := range sc.Chains[ci].Flops {
+			src[f] = prev
+			prev = d.Inst(f).Out
+		}
+	}
+	return src
+}

@@ -1,0 +1,79 @@
+package atpg
+
+import (
+	"fmt"
+
+	"scap/internal/fault"
+	"scap/internal/faultsim"
+	"scap/internal/logic"
+)
+
+// CompactReverse applies the classical reverse-order static compaction
+// pass: patterns are fault-simulated from last to first, and a pattern is
+// kept only if it detects at least one fault no later-kept pattern covers.
+// The returned subset (in original order) preserves the set's detected-
+// fault coverage exactly. The paper's related work ([17]) studies power
+// supply noise during exactly this compaction loop; combined with the SCAP
+// screen it lets a flow drop hot patterns whose faults are covered
+// elsewhere.
+//
+// The fault list l must be fresh (all faults undetected); its statuses are
+// updated to reflect the compacted set.
+func CompactReverse(fs *faultsim.Sim, l *fault.List, pats []Pattern, dom int) ([]Pattern, error) {
+	d := l.D
+	for _, st := range l.Status {
+		if st == fault.Detected {
+			return nil, fmt.Errorf("atpg: CompactReverse needs a fresh fault list")
+		}
+	}
+	subset := l.InDomain(dom)
+	keep := make([]bool, len(pats))
+
+	for hi := len(pats); hi > 0; hi -= 64 {
+		lo := hi - 64
+		if lo < 0 {
+			lo = 0
+		}
+		chunk := pats[lo:hi]
+		v1 := make([]logic.Word, len(d.Flops))
+		pis := make([]logic.Word, len(d.PIs))
+		for s := range chunk {
+			for i, v := range chunk[s].V1 {
+				v1[i] = v1[i].Set(uint(s), v)
+			}
+			for i, v := range chunk[s].PIs {
+				pis[i] = pis[i].Set(uint(s), v)
+			}
+		}
+		valid := uint64(1)<<uint(len(chunk)) - 1
+		if len(chunk) == 64 {
+			valid = ^uint64(0)
+		}
+		b := fs.GoodSim(v1, pis, dom, valid)
+		for _, fi := range subset {
+			if l.Status[fi] != fault.Undetected {
+				continue
+			}
+			det := fs.Detect(b, &l.Faults[fi])
+			if det == 0 {
+				continue
+			}
+			// Credit the fault to the latest pattern in original order:
+			// the highest set slot (greedy reverse order semantics).
+			slot := 63
+			for det&(1<<uint(slot)) == 0 {
+				slot--
+			}
+			keep[lo+slot] = true
+			l.MarkDetected(fi, lo+slot)
+		}
+	}
+
+	out := make([]Pattern, 0, len(pats))
+	for i := range pats {
+		if keep[i] {
+			out = append(out, pats[i])
+		}
+	}
+	return out, nil
+}

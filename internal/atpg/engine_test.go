@@ -1,0 +1,83 @@
+package atpg
+
+import (
+	"testing"
+
+	"scap/internal/cell"
+	"scap/internal/fault"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+)
+
+func TestEngineJustifiesAndTree(t *testing.T) {
+	d := netlist.New("tree", cell.New180nm())
+	d.NumBlocks = 1
+	d.Domains = []netlist.DomainInfo{{Name: "clk", FreqMHz: 50, PeriodNs: 20}}
+	n := map[string]netlist.NetID{}
+	for _, name := range []string{"q0", "q1", "q2", "qo", "qh", "qv", "i0", "i1", "i2", "a1", "a2", "hv"} {
+		n[name] = d.AddNet(name)
+	}
+	d.AddInst("inv0", cell.Inv, []netlist.NetID{n["q0"]}, n["i0"], 0)
+	d.AddInst("inv1", cell.Inv, []netlist.NetID{n["q1"]}, n["i1"], 0)
+	d.AddInst("inv2", cell.Inv, []netlist.NetID{n["q2"]}, n["i2"], 0)
+	d.AddInst("and1", cell.And2, []netlist.NetID{n["q0"], n["q1"]}, n["a1"], 0)
+	d.AddInst("and2", cell.And2, []netlist.NetID{n["a1"], n["q2"]}, n["a2"], 0)
+	d.AddInst("invh", cell.Inv, []netlist.NetID{n["qh"]}, n["hv"], 0)
+	flopIdx := map[string]int{}
+	add := func(name string, dnet, qnet netlist.NetID) {
+		id := d.AddInst(name, cell.DFF, []netlist.NetID{dnet}, qnet, 0)
+		d.SetDomain(id, 0, false)
+		flopIdx[name] = len(d.Flops) - 1
+	}
+	add("t0", n["i0"], n["q0"])
+	add("t1", n["i1"], n["q1"])
+	add("t2", n["i2"], n["q2"])
+	add("fo", n["a2"], n["qo"])
+	add("h", n["qh"], n["qh"])  // D = Q: holds forever
+	add("fh", n["hv"], n["qv"]) // observes hv
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := newEngine(d, engineConfig{dom: 0, seed: 1, limit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// STR on a1: needs frame1 t0=t1=0 (so frame2 q0=q1=1 -> a1 rises) and
+	// frame1 t2=0 for propagation through and2.
+	cube, disp := eng.generate(&fault.Fault{Net: n["a1"], Type: fault.STR})
+	if disp != genSuccess {
+		t.Fatalf("STR a1 not generated: %v", disp)
+	}
+	for _, name := range []string{"t0", "t1", "t2"} {
+		if v, ok := cube.State[flopIdx[name]]; !ok || v != logic.Zero {
+			t.Fatalf("STR a1 cube: %s = %v (want 0); cube %v", name, v, cube.State)
+		}
+	}
+
+	// STF on a1: frame1 t0=t1=1, propagation still needs frame2 q2=1 i.e.
+	// frame1 t2=0.
+	cube, disp = eng.generate(&fault.Fault{Net: n["a1"], Type: fault.STF})
+	if disp != genSuccess {
+		t.Fatalf("STF a1 not generated: %v", disp)
+	}
+	if v := cube.State[flopIdx["t0"]]; v != logic.One {
+		t.Fatalf("STF a1: t0 = %v, want 1", v)
+	}
+	if v := cube.State[flopIdx["t1"]]; v != logic.One {
+		t.Fatalf("STF a1: t1 = %v, want 1", v)
+	}
+	if v := cube.State[flopIdx["t2"]]; v != logic.Zero {
+		t.Fatalf("STF a1: t2 = %v, want 0", v)
+	}
+
+	// hv sits behind a hold flop: its value cannot change between frames,
+	// so both transition faults are provably untestable.
+	if _, disp := eng.generate(&fault.Fault{Net: n["hv"], Type: fault.STR}); disp != genUntestable {
+		t.Fatalf("STR hv disposition %v, want untestable", disp)
+	}
+	if _, disp := eng.generate(&fault.Fault{Net: n["hv"], Type: fault.STF}); disp != genUntestable {
+		t.Fatalf("STF hv disposition %v, want untestable", disp)
+	}
+}

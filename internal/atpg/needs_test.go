@@ -1,0 +1,75 @@
+package atpg
+
+import (
+	"testing"
+
+	"scap/internal/cell"
+	"scap/internal/logic"
+)
+
+// TestPropagationNeedsTruthTable brute-force verifies the side-input tables
+// PODEM's D-frontier uses: with the needs applied, flipping the faulty pin
+// must flip the gate output (the fault effect propagates); any unspecified
+// side input must not be able to block it once the needs are set.
+func TestPropagationNeedsTruthTable(t *testing.T) {
+	lib := cell.New180nm()
+	for _, k := range lib.Kinds() {
+		if k.IsSequential() {
+			continue
+		}
+		n := k.NumInputs()
+		for pin := 0; pin < n; pin++ {
+			needs := propagationNeeds(k, pin)
+			// Assemble the constraint vector: needs pins fixed, others free.
+			fixed := make([]logic.V, n)
+			for i := range fixed {
+				fixed[i] = logic.X
+			}
+			ok := true
+			for _, nd := range needs {
+				if nd.pin == pin {
+					t.Fatalf("%v pin %d: needs constrain the fault pin itself", k, pin)
+				}
+				if fixed[nd.pin] != logic.X {
+					t.Fatalf("%v pin %d: duplicate need on pin %d", k, pin, nd.pin)
+				}
+				fixed[nd.pin] = nd.val
+			}
+			// Enumerate all assignments of the remaining free pins; for the
+			// needs to be sufficient, EVERY completion must propagate.
+			free := []int{}
+			for i := 0; i < n; i++ {
+				if i != pin && fixed[i] == logic.X {
+					free = append(free, i)
+				}
+			}
+			for m := 0; m < 1<<len(free); m++ {
+				in0 := make([]logic.V, n)
+				in1 := make([]logic.V, n)
+				for i := 0; i < n; i++ {
+					switch {
+					case i == pin:
+						in0[i], in1[i] = logic.Zero, logic.One
+					case fixed[i] != logic.X:
+						in0[i], in1[i] = fixed[i], fixed[i]
+					default:
+						// free pin: value from the enumeration mask
+						v := logic.Zero
+						for fi, fp := range free {
+							if fp == i && m&(1<<fi) != 0 {
+								v = logic.One
+							}
+						}
+						in0[i], in1[i] = v, v
+					}
+				}
+				if cell.Eval(k, in0) == cell.Eval(k, in1) {
+					ok = false
+				}
+			}
+			if !ok {
+				t.Errorf("%v pin %d: needs %v do not guarantee propagation", k, pin, needs)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package cell
+
+import (
+	"fmt"
+
+	"scap/internal/logic"
+)
+
+// Eval computes the three-valued output of a combinational cell of kind k
+// given its input pin values, in pin order. Sequential kinds evaluate their
+// data path: DFF returns D; SDFF returns the scan-mux output
+// (SE=0 -> D, SE=1 -> SI), which is the value the flop would capture.
+func Eval(k Kind, in []logic.V) logic.V {
+	if len(in) != k.NumInputs() {
+		panic(fmt.Sprintf("cell: %v expects %d inputs, got %d", k, k.NumInputs(), len(in)))
+	}
+	switch k {
+	case Inv:
+		return in[0].Not()
+	case Buf:
+		return in[0]
+	case Nand2, Nand3, Nand4:
+		return reduceAnd(in).Not()
+	case Nor2, Nor3, Nor4:
+		return reduceOr(in).Not()
+	case And2, And3, And4:
+		return reduceAnd(in)
+	case Or2, Or3, Or4:
+		return reduceOr(in)
+	case Xor2:
+		return in[0].Xor(in[1])
+	case Xnor2:
+		return in[0].Xor(in[1]).Not()
+	case Mux2:
+		return muxV(in[0], in[1], in[2])
+	case Aoi21:
+		return in[0].And(in[1]).Or(in[2]).Not()
+	case Oai21:
+		return in[0].Or(in[1]).And(in[2]).Not()
+	case Aoi22:
+		return in[0].And(in[1]).Or(in[2].And(in[3])).Not()
+	case Oai22:
+		return in[0].Or(in[1]).And(in[2].Or(in[3])).Not()
+	case DFF:
+		return in[0]
+	case SDFF:
+		return muxV(in[0], in[1], in[2])
+	default:
+		panic(fmt.Sprintf("cell: Eval of invalid kind %v", k))
+	}
+}
+
+// muxV is the three-valued 2:1 mux: s=0 -> a, s=1 -> b. With an unknown
+// select the output is still defined when both data inputs agree.
+func muxV(a, b, s logic.V) logic.V {
+	switch s {
+	case logic.Zero:
+		return a
+	case logic.One:
+		return b
+	default:
+		if a == b && a != logic.X {
+			return a
+		}
+		return logic.X
+	}
+}
+
+func reduceAnd(in []logic.V) logic.V {
+	v := in[0]
+	for _, w := range in[1:] {
+		v = v.And(w)
+	}
+	return v
+}
+
+func reduceOr(in []logic.V) logic.V {
+	v := in[0]
+	for _, w := range in[1:] {
+		v = v.Or(w)
+	}
+	return v
+}
+
+// EvalWord is the 64-way parallel counterpart of Eval. Slot semantics match
+// Eval applied slot-wise.
+func EvalWord(k Kind, in []logic.Word) logic.Word {
+	if len(in) != k.NumInputs() {
+		panic(fmt.Sprintf("cell: %v expects %d inputs, got %d", k, k.NumInputs(), len(in)))
+	}
+	switch k {
+	case Inv:
+		return in[0].Not()
+	case Buf:
+		return in[0]
+	case Nand2, Nand3, Nand4:
+		return reduceAndW(in).Not()
+	case Nor2, Nor3, Nor4:
+		return reduceOrW(in).Not()
+	case And2, And3, And4:
+		return reduceAndW(in)
+	case Or2, Or3, Or4:
+		return reduceOrW(in)
+	case Xor2:
+		return in[0].Xor(in[1])
+	case Xnor2:
+		return in[0].Xor(in[1]).Not()
+	case Mux2:
+		return muxW(in[0], in[1], in[2])
+	case Aoi21:
+		return in[0].And(in[1]).Or(in[2]).Not()
+	case Oai21:
+		return in[0].Or(in[1]).And(in[2]).Not()
+	case Aoi22:
+		return in[0].And(in[1]).Or(in[2].And(in[3])).Not()
+	case Oai22:
+		return in[0].Or(in[1]).And(in[2].Or(in[3])).Not()
+	case DFF:
+		return in[0]
+	case SDFF:
+		return muxW(in[0], in[1], in[2])
+	default:
+		panic(fmt.Sprintf("cell: EvalWord of invalid kind %v", k))
+	}
+}
+
+// muxW is the slot-wise three-valued 2:1 mux.
+func muxW(a, b, s logic.Word) logic.Word {
+	// Where s known: select a or b. Where s is X: defined only if a==b defined.
+	selA := logic.Word{Zero: a.Zero & s.Zero, One: a.One & s.Zero}
+	selB := logic.Word{Zero: b.Zero & s.One, One: b.One & s.One}
+	sx := ^s.Known()
+	agree := logic.Word{
+		Zero: a.Zero & b.Zero & sx,
+		One:  a.One & b.One & sx,
+	}
+	return logic.Word{
+		Zero: selA.Zero | selB.Zero | agree.Zero,
+		One:  selA.One | selB.One | agree.One,
+	}
+}
+
+func reduceAndW(in []logic.Word) logic.Word {
+	v := in[0]
+	for _, w := range in[1:] {
+		v = v.And(w)
+	}
+	return v
+}
+
+func reduceOrW(in []logic.Word) logic.Word {
+	v := in[0]
+	for _, w := range in[1:] {
+		v = v.Or(w)
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package clocktree
+
+import (
+	"math"
+	"testing"
+
+	"scap/internal/netlist"
+	"scap/internal/place"
+	"scap/internal/soc"
+)
+
+func built(t *testing.T) (*netlist.Design, *place.Floorplan, *Tree) {
+	t.Helper()
+	d, _, err := soc.Generate(soc.DefaultConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := place.Place(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fp, Build(d, fp, DefaultParams(), 5)
+}
+
+func TestArrivalsPositiveAndBounded(t *testing.T) {
+	d, _, tr := built(t)
+	p := DefaultParams()
+	for _, f := range d.Flops {
+		a := tr.Arrival(f)
+		if a <= 0 {
+			t.Fatalf("flop %d arrival %v", f, a)
+		}
+		// Upper bound: base + jitter + longest possible route.
+		max := p.BaseInsertion + p.JitterNs + p.DelayPerUnit*(place.DieSize*2)
+		if a > max {
+			t.Fatalf("flop %d arrival %v exceeds bound %v", f, a, max)
+		}
+	}
+	if tr.MaxSkew <= 0 || tr.MeanInsertion <= 0 {
+		t.Fatalf("skew/insertion degenerate: %v %v", tr.MaxSkew, tr.MeanInsertion)
+	}
+	// Skew should be a respectable fraction of a ns but well under a cycle.
+	if tr.MaxSkew > 3 {
+		t.Fatalf("MaxSkew %v implausibly large", tr.MaxSkew)
+	}
+}
+
+func TestArrivalGrowsWithDistanceOnAverage(t *testing.T) {
+	d, fp, tr := built(t)
+	cx, cy := fp.W/2, fp.H/2
+	var nearSum, farSum float64
+	var nearN, farN int
+	for _, f := range d.Flops {
+		inst := d.Inst(f)
+		dist := math.Abs(inst.X-cx) + math.Abs(inst.Y-cy)
+		if dist < 300 {
+			nearSum += tr.Arrival(f)
+			nearN++
+		} else if dist > 600 {
+			farSum += tr.Arrival(f)
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("no near/far split at this scale")
+	}
+	if farSum/float64(farN) <= nearSum/float64(nearN) {
+		t.Fatalf("far flops (%v) not slower than near flops (%v)",
+			farSum/float64(farN), nearSum/float64(nearN))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d, _, err := soc.Generate(soc.DefaultConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := place.Place(d, 1)
+	t1 := Build(d, fp, DefaultParams(), 5)
+	t2 := Build(d, fp, DefaultParams(), 5)
+	for _, f := range d.Flops {
+		if t1.Arrival(f) != t2.Arrival(f) {
+			t.Fatalf("arrival differs for flop %d", f)
+		}
+	}
+}
+
+func TestScaledArrivalNoDropEqualsNominal(t *testing.T) {
+	d, _, tr := built(t)
+	zero := func(x, y float64) float64 { return 0 }
+	for _, f := range d.Flops[:10] {
+		nom, sc := tr.Arrival(f), tr.ScaledArrival(f, 0.9, zero)
+		if math.Abs(nom-sc) > 1e-9 {
+			t.Fatalf("flop %d: scaled %v != nominal %v with zero drop", f, sc, nom)
+		}
+	}
+}
+
+func TestScaledArrivalSlowsUnderDrop(t *testing.T) {
+	d, _, tr := built(t)
+	uniform := func(x, y float64) float64 { return 0.2 }
+	for _, f := range d.Flops[:10] {
+		nom, sc := tr.Arrival(f), tr.ScaledArrival(f, 0.9, uniform)
+		want := nom * 1.18
+		if math.Abs(sc-want) > 1e-6*want {
+			t.Fatalf("flop %d: scaled %v, want %v (uniform 0.2 V drop)", f, sc, want)
+		}
+	}
+	// Negative drop must clamp, never speed the clock up.
+	boost := func(x, y float64) float64 { return -0.3 }
+	f := d.Flops[0]
+	if sc := tr.ScaledArrival(f, 0.9, boost); sc < tr.Arrival(f)-1e-9 {
+		t.Fatalf("negative drop sped up the clock: %v < %v", sc, tr.Arrival(f))
+	}
+}
+
+func TestScaledArrivalLocalizedDrop(t *testing.T) {
+	// A drop localized to the die center must slow every flop (all routes
+	// start at the center), but flops far from the center less in relative
+	// terms than ones inside the hot region.
+	d, fp, tr := built(t)
+	hot := func(x, y float64) float64 {
+		dx, dy := x-fp.W/2, y-fp.H/2
+		if dx*dx+dy*dy < 200*200 {
+			return 0.25
+		}
+		return 0
+	}
+	var inRel, outRel float64
+	var inN, outN int
+	for _, f := range d.Flops {
+		inst := d.Inst(f)
+		rel := tr.ScaledArrival(f, 0.9, hot) / tr.Arrival(f)
+		if rel < 1-1e-9 {
+			t.Fatalf("flop %d sped up: %v", f, rel)
+		}
+		dx, dy := inst.X-fp.W/2, inst.Y-fp.H/2
+		if dx*dx+dy*dy < 200*200 {
+			inRel += rel
+			inN++
+		} else {
+			outRel += rel
+			outN++
+		}
+	}
+	if inN == 0 || outN == 0 {
+		t.Skip("no inside/outside split")
+	}
+	if inRel/float64(inN) <= outRel/float64(outN) {
+		t.Fatalf("hot-region flops (%v) not slowed more than cold (%v)",
+			inRel/float64(inN), outRel/float64(outN))
+	}
+}
+
+func TestUnknownFlop(t *testing.T) {
+	_, _, tr := built(t)
+	if tr.Arrival(netlist.InstID(1<<30)) != 0 {
+		t.Fatal("unknown flop should have zero arrival")
+	}
+	if tr.ScaledArrival(netlist.InstID(1<<30), 0.9, func(x, y float64) float64 { return 1 }) != 0 {
+		t.Fatal("unknown flop should have zero scaled arrival")
+	}
+}

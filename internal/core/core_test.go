@@ -1,0 +1,409 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"scap/internal/atpg"
+	"scap/internal/soc"
+)
+
+var (
+	once    sync.Once
+	sysG    *System
+	statG   *StatAnalysis
+	convG   *FlowResult
+	newG    *FlowResult
+	buildEr error
+)
+
+// build constructs one shared small system plus both flows; the ATPG runs
+// dominate test time, so all core tests share them.
+func build(t *testing.T) (*System, *StatAnalysis, *FlowResult, *FlowResult) {
+	t.Helper()
+	once.Do(func() {
+		cfg := DefaultConfig(48)
+		sysG, buildEr = Build(cfg)
+		if buildEr != nil {
+			return
+		}
+		statG, buildEr = sysG.Statistical()
+		if buildEr != nil {
+			return
+		}
+		convG, buildEr = sysG.ConventionalFlow(0)
+		if buildEr != nil {
+			return
+		}
+		newG, buildEr = sysG.NewProcedureFlow(0)
+	})
+	if buildEr != nil {
+		t.Fatal(buildEr)
+	}
+	return sysG, statG, convG, newG
+}
+
+func TestBuildCalibratesGrid(t *testing.T) {
+	sys, stat, _, _ := build(t)
+	// After calibration, the hottest block's Case-2 worst VDD drop should
+	// sit on the configured target.
+	hot := stat.HotBlock
+	if hot != soc.B5 {
+		t.Fatalf("hot block is B%d, want B5", hot+1)
+	}
+	got := stat.Case2.WorstVDD[hot]
+	want := sys.Cfg.GridCalibTargetV
+	if got < 0.8*want || got > 1.25*want {
+		t.Fatalf("calibrated Case2 B5 drop %v, target %v", got, want)
+	}
+}
+
+func TestStatisticalShapes(t *testing.T) {
+	sys, stat, _, _ := build(t)
+	d := sys.D
+	// Case 2 power must be exactly double Case 1 (half window).
+	for b := 0; b <= d.NumBlocks; b++ {
+		p1 := stat.Case1.Power.Blocks[b].PowerVddMW
+		p2 := stat.Case2.Power.Blocks[b].PowerVddMW
+		if p1 <= 0 {
+			t.Fatalf("block %d zero statistical power", b)
+		}
+		if p2 < 1.99*p1 || p2 > 2.01*p1 {
+			t.Fatalf("block %d: Case2 %v not ~2x Case1 %v", b, p2, p1)
+		}
+	}
+	// B5 has the largest power and the worst drop in both cases.
+	for b := 0; b < d.NumBlocks; b++ {
+		if b == soc.B5 {
+			continue
+		}
+		if stat.ThresholdMW[b] >= stat.ThresholdMW[soc.B5] {
+			t.Fatalf("threshold B%d >= B5", b+1)
+		}
+		if stat.Case2.WorstVDD[b] >= stat.Case2.WorstVDD[soc.B5] {
+			t.Fatalf("Case2 drop B%d >= B5", b+1)
+		}
+	}
+	// The drop rises when the window halves, but sub-linearly for small
+	// peripheral blocks (the paper's observation 1) — at minimum it must
+	// not shrink.
+	for b := 0; b < d.NumBlocks; b++ {
+		if stat.Case2.WorstVDD[b] < stat.Case1.WorstVDD[b] {
+			t.Fatalf("block %d: Case2 drop below Case1", b)
+		}
+	}
+	// VSS analysis present and positive.
+	if stat.Case2.WorstVSS[soc.B5] <= 0 {
+		t.Fatal("no VSS drop")
+	}
+}
+
+func TestFlowsReachSimilarCoverage(t *testing.T) {
+	_, _, conv, nw := build(t)
+	if len(conv.Patterns) == 0 || len(nw.Patterns) == 0 {
+		t.Fatal("empty flows")
+	}
+	cc := conv.Counts.TestCoverage()
+	nc := nw.Counts.TestCoverage()
+	t.Logf("conventional: %d patterns, %.1f%% TC; new: %d patterns, %.1f%% TC",
+		len(conv.Patterns), 100*cc, len(nw.Patterns), 100*nc)
+	if cc < 0.6 || nc < 0.6 {
+		t.Fatalf("coverage too low: %v vs %v", cc, nc)
+	}
+	if nc < cc-0.08 {
+		t.Fatalf("new procedure lost too much coverage: %v vs %v", nc, cc)
+	}
+	// Coverage curves are monotone and end at the final coverage.
+	for _, fr := range []*FlowResult{conv, nw} {
+		prev := 0.0
+		for i, c := range fr.Coverage {
+			if c < prev-1e-12 {
+				t.Fatalf("%s coverage decreases at %d", fr.Name, i)
+			}
+			prev = c
+		}
+	}
+	// The new procedure's steps are tagged in order.
+	lastStep := 0
+	for _, p := range nw.Patterns {
+		if p.Step < lastStep {
+			t.Fatal("steps out of order")
+		}
+		lastStep = p.Step
+	}
+	if lastStep != 2 {
+		t.Fatalf("last step %d, want 2 (B5)", lastStep)
+	}
+}
+
+// TestNewProcedureReducesAboveThresholdPatterns is the paper's headline
+// result (Fig. 2 vs Fig. 6): with block-stepped fill-0 generation, the
+// number of patterns whose B5 SCAP exceeds the statistical threshold drops
+// dramatically versus conventional random fill.
+func TestNewProcedureReducesAboveThresholdPatterns(t *testing.T) {
+	sys, stat, conv, nw := build(t)
+	convProf, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newProf, err := sys.ProfilePatterns(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := stat.ThresholdMW[soc.B5]
+	convAbove := AboveThreshold(convProf, soc.B5, thr)
+	newAbove := AboveThreshold(newProf, soc.B5, thr)
+	t.Logf("B5 threshold %.2f mW: conventional %d/%d above, new %d/%d above",
+		thr, convAbove, len(convProf), newAbove, len(newProf))
+	if convAbove == 0 {
+		t.Fatal("conventional random fill produced no hot patterns — shape broken")
+	}
+	// At this reduced unit-test scale a single test cube's care bits are
+	// already ~10% of B5's flop population, so the B5-targeted tail cannot
+	// be as quiet as the paper's full-size design; the full contrast is
+	// exercised at the default experiment scale by the bench harness.
+	// Here the assertions are directional.
+	convFrac := float64(convAbove) / float64(len(convProf))
+	newFrac := float64(newAbove) / float64(len(newProf))
+	if convFrac < 0.5 {
+		t.Fatalf("conventional fraction %.2f unexpectedly low", convFrac)
+	}
+	if newFrac >= convFrac {
+		t.Fatalf("new procedure fraction %.2f not below conventional %.2f", newFrac, convFrac)
+	}
+	// Early-step (non-B5) patterns must be mostly quiet in B5 — the
+	// paper's Figure 6 prefix.
+	earlyAbove, earlyN := 0, 0
+	var earlySum, lateSum float64
+	lateN := 0
+	for i := range newProf {
+		if newProf[i].Step < 2 {
+			earlyN++
+			earlySum += newProf[i].BlockSCAPVdd[soc.B5]
+			if newProf[i].BlockSCAPVdd[soc.B5] > thr {
+				earlyAbove++
+			}
+		} else {
+			lateN++
+			lateSum += newProf[i].BlockSCAPVdd[soc.B5]
+		}
+	}
+	if earlyN == 0 || lateN == 0 {
+		t.Fatal("missing steps")
+	}
+	if frac := float64(earlyAbove) / float64(earlyN); frac > 0.5 {
+		t.Fatalf("early steps have %.0f%% of patterns above the B5 threshold", 100*frac)
+	}
+	if earlySum/float64(earlyN) >= lateSum/float64(lateN) {
+		t.Fatalf("early steps (%.2f mW) not quieter in B5 than step 3 (%.2f mW)",
+			earlySum/float64(earlyN), lateSum/float64(lateN))
+	}
+}
+
+func TestSTWNearHalfPeriod(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	prof, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range prof {
+		sum += prof[i].STW
+	}
+	mean := sum / float64(len(prof))
+	frac := mean / sys.Period
+	t.Logf("mean STW %.2f ns (%.0f%% of the %v ns period)", mean, 100*frac, sys.Period)
+	// The paper observes STW near half the cycle; accept a broad band.
+	if frac < 0.2 || frac > 0.95 {
+		t.Fatalf("mean STW fraction %.2f outside plausible band", frac)
+	}
+	// SCAP must exceed CAP for every active pattern, by the T/STW ratio.
+	for i := range prof {
+		if prof[i].Toggles == 0 {
+			continue
+		}
+		if prof[i].ChipSCAPVdd < prof[i].ChipCAPVdd {
+			t.Fatalf("pattern %d: SCAP below CAP", i)
+		}
+	}
+}
+
+func TestDynamicIRDropSCAPvsCAP(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	prof, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the hottest pattern.
+	hot := 0
+	for i := range prof {
+		if prof[i].ChipSCAPVdd > prof[hot].ChipSCAPVdd {
+			hot = i
+		}
+	}
+	cap, err := sys.DynamicIRDrop(&conv.Patterns[hot], 0, ModelCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scap, err := sys.DynamicIRDrop(&conv.Patterns[hot], 0, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := sys.D.NumBlocks
+	t.Logf("hot pattern: CAP worst %v V, SCAP worst %v V (STW %.2f ns)",
+		cap.WorstVDD[nb], scap.WorstVDD[nb], scap.STW)
+	if scap.WorstVDD[nb] <= cap.WorstVDD[nb] {
+		t.Fatal("SCAP-model drop not above CAP-model drop")
+	}
+	ratio := scap.WorstVDD[nb] / cap.WorstVDD[nb]
+	wantRatio := sys.Period / scap.STW
+	if ratio < 0.9*wantRatio || ratio > 1.1*wantRatio {
+		t.Fatalf("drop ratio %v, want ~T/STW = %v", ratio, wantRatio)
+	}
+	if scap.WorstVSS[nb] <= 0 {
+		t.Fatal("no VSS drop")
+	}
+	comb := scap.CombinedDrop()
+	if comb.Worst < scap.SolVDD.Worst {
+		t.Fatal("combined drop below VDD drop")
+	}
+}
+
+func TestDelayImpact(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	prof, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for i := range prof {
+		if prof[i].ChipSCAPVdd > prof[hot].ChipSCAPVdd {
+			hot = i
+		}
+	}
+	imp, dyn, err := sys.DelayImpact(&conv.Patterns[hot], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.SolVDD.Worst <= 0 {
+		t.Fatal("no drop")
+	}
+	if imp.Slowed == 0 {
+		t.Fatal("IR-drop slowed no endpoint")
+	}
+	t.Logf("delay impact: %d slowed, %d sped, max slowdown %.1f%%",
+		imp.Slowed, imp.Sped, 100*imp.MaxSlowdownFrac)
+	if imp.MaxSlowdownFrac <= 0 {
+		t.Fatal("no slowdown fraction")
+	}
+}
+
+func TestATPGDefaultsApplied(t *testing.T) {
+	sys, _, _, _ := build(t)
+	l := sys.NewFaultList()
+	res, err := sys.ATPG(l, atpg.Options{Dom: 1, Fill: atpg.Fill0, MaxPatterns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) > 3 {
+		t.Fatal("MaxPatterns ignored")
+	}
+}
+
+func TestFunctionalPowerFarBelowTestPower(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	fn, err := sys.FunctionalPowerSim(0, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.MeanPowerMW[sys.D.NumBlocks] <= 0 {
+		t.Fatal("no functional activity")
+	}
+	prof, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean test-pattern CAP (chip) vs functional mean power.
+	sum := 0.0
+	for i := range prof {
+		sum += prof[i].ChipCAPVdd
+	}
+	meanTest := sum / float64(len(prof))
+	ratio := meanTest / fn.MeanPowerMW[sys.D.NumBlocks]
+	t.Logf("functional %.2f mW vs mean test CAP(VDD) %.2f mW: ratio %.1fx (cycles %d, %0.f toggles/cycle)",
+		fn.MeanPowerMW[sys.D.NumBlocks], meanTest, ratio, fn.Cycles, fn.MeanToggles)
+	// The paper's premise: test switching far exceeds functional.
+	if ratio < 1.5 {
+		t.Fatalf("test power only %.2fx functional — premise broken", ratio)
+	}
+	if r := TestVsFunctionalRatio(prof, fn, soc.B5); r <= 1 {
+		t.Fatalf("B5 test/functional ratio %.2f", r)
+	}
+	if _, err := sys.FunctionalPowerSim(0, 0, 1); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+}
+
+func TestGradeDetections(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	rep, err := sys.GradeDetections(conv, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grades) == 0 {
+		t.Fatal("no grades")
+	}
+	total := 0
+	for _, n := range rep.Deciles {
+		total += n
+	}
+	if total != len(rep.Grades) {
+		t.Fatalf("histogram holds %d, grades %d", total, len(rep.Grades))
+	}
+	for _, g := range rep.Grades {
+		if g.DetectDelayNs <= 0 || g.DetectDelayNs > sys.Period {
+			t.Fatalf("fault %d detect delay %v outside (0, %v]", g.Fault, g.DetectDelayNs, sys.Period)
+		}
+		if g.SlackNs < 0 || g.SlackNs+g.DetectDelayNs != sys.Period {
+			t.Fatalf("fault %d slack inconsistent: %v + %v != %v",
+				g.Fault, g.SlackNs, g.DetectDelayNs, sys.Period)
+		}
+	}
+	if rep.BestSlack > rep.MeanSlack || rep.MeanSlack > rep.WorstSlack {
+		t.Fatalf("slack ordering broken: %v %v %v", rep.BestSlack, rep.MeanSlack, rep.WorstSlack)
+	}
+	t.Logf("graded %d detections: slack best %.2f / mean %.2f / worst %.2f ns",
+		len(rep.Grades), rep.BestSlack, rep.MeanSlack, rep.WorstSlack)
+	if _, err := sys.GradeDetections(&FlowResult{Faults: sys.NewFaultList(), Dom: 0}, 10); err == nil {
+		t.Fatal("empty flow accepted")
+	}
+}
+
+func TestFullChipCoversAllDomains(t *testing.T) {
+	sys, _, _, _ := build(t)
+	sums, total, err := sys.FullChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != len(sys.D.Domains) {
+		t.Fatalf("%d summaries for %d domains", len(sums), len(sys.D.Domains))
+	}
+	pats := 0
+	for _, s := range sums {
+		if s.Counts.Total == 0 {
+			t.Fatalf("domain %s has no faults", s.Name)
+		}
+		if s.Counts.Detected == 0 {
+			t.Fatalf("domain %s detected nothing", s.Name)
+		}
+		pats += s.Patterns
+	}
+	if total.Detected == 0 || total.Total == 0 {
+		t.Fatal("empty totals")
+	}
+	t.Logf("full chip: %d patterns across %d domains, %d/%d detected (TC %.1f%%)",
+		pats, len(sums), total.Detected, total.Total, 100*total.TestCoverage())
+	if total.TestCoverage() < 0.6 {
+		t.Fatalf("full-chip coverage %.1f%% too low", 100*total.TestCoverage())
+	}
+}

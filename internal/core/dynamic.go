@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"scap/internal/atpg"
+	"scap/internal/delayscale"
+	"scap/internal/pgrid"
+	"scap/internal/power"
+	"scap/internal/sim"
+)
+
+// PowerModel selects the averaging window of the dynamic analysis.
+type PowerModel uint8
+
+// Power models (Table 4 compares them).
+const (
+	// ModelCAP averages the pattern's switching over the full tester cycle.
+	ModelCAP PowerModel = iota
+	// ModelSCAP averages over the switching time frame window only —
+	// the paper's model, which roughly doubles both power and IR-drop.
+	ModelSCAP
+)
+
+// String names the model.
+func (m PowerModel) String() string {
+	if m == ModelCAP {
+		return "CAP"
+	}
+	return "SCAP"
+}
+
+// DynamicIR is one pattern's dynamic IR-drop analysis.
+type DynamicIR struct {
+	Model   PowerModel
+	Profile *power.Profile
+	STW     float64
+	// SolVDD/SolVSS are the solved rail drops; WorstVDD/WorstVSS the worst
+	// node drop per block plus a chip entry, volts.
+	SolVDD, SolVSS     *pgrid.Solution
+	WorstVDD, WorstVSS []float64
+}
+
+// DynamicIRDrop simulates one pattern with full timing, captures its
+// switching energy (the VCD-less PLI path), converts it to per-instance
+// currents over the model's window, and solves both rail meshes.
+func (sys *System) DynamicIRDrop(p *atpg.Pattern, dom int, model PowerModel) (*DynamicIR, error) {
+	d := sys.D
+	meter := power.NewMeter(d)
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	v2 := sys.LaunchState(p.V1, p.PIs, dom)
+	res, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle)
+	if err != nil {
+		return nil, fmt.Errorf("core: dynamic sim: %w", err)
+	}
+	prof := meter.Report(sys.Period)
+	window := sys.Period
+	if model == ModelSCAP {
+		window = res.STW
+	}
+	out := &DynamicIR{Model: model, Profile: prof, STW: res.STW}
+
+	solve := func(g *pgrid.Grid, energy []float64) (*pgrid.Solution, []float64, error) {
+		cur := power.InstCurrents(d, energy, window)
+		sol, err := g.Solve(g.InjectInstCurrents(d, cur))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: dynamic solve: %w", err)
+		}
+		return sol, sol.WorstPerBlock(g, d.NumBlocks), nil
+	}
+	if out.SolVDD, out.WorstVDD, err = solve(sys.GridVDD, prof.InstEnergyVDD); err != nil {
+		return nil, err
+	}
+	if out.SolVSS, out.WorstVSS, err = solve(sys.GridVSS, prof.InstEnergyVSS); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CombinedDrop returns a node-wise sum of the two rails' drops: the
+// effective supply collapse a cell sees (VDD sag plus ground bounce),
+// which is what scales its delay.
+func (dyn *DynamicIR) CombinedDrop() *pgrid.Solution {
+	n := dyn.SolVDD.N
+	sum := &pgrid.Solution{N: n, Drop: make([]float64, n*n)}
+	for i := range sum.Drop {
+		v := dyn.SolVDD.Drop[i] + dyn.SolVSS.Drop[i]
+		sum.Drop[i] = v
+		if v > sum.Worst {
+			sum.Worst = v
+		}
+	}
+	return sum
+}
+
+// DelayImpact runs the paper's Figure 7 experiment on one pattern: dynamic
+// IR-drop with the SCAP window, then a nominal-vs-derated timing
+// re-simulation with cell and clock delays scaled by the local voltage
+// collapse.
+func (sys *System) DelayImpact(p *atpg.Pattern, dom int) (*delayscale.Impact, *DynamicIR, error) {
+	dyn, err := sys.DynamicIRDrop(p, dom, ModelSCAP)
+	if err != nil {
+		return nil, nil, err
+	}
+	v2 := sys.LaunchState(p.V1, p.PIs, dom)
+	imp, err := delayscale.Compare(sys.Sim, sys.Delays, sys.Tree,
+		sys.GridVDD, dyn.CombinedDrop(), sys.D.Lib.KVolt,
+		p.V1, v2, p.PIs, sys.Period)
+	if err != nil {
+		return nil, nil, err
+	}
+	return imp, dyn, nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"scap/internal/atpg"
+	"scap/internal/fault"
+	"scap/internal/power"
+	"scap/internal/sim"
+	"scap/internal/soc"
+)
+
+// FlowResult is one complete pattern-generation flow for a clock domain.
+type FlowResult struct {
+	Name     string
+	Dom      int
+	Patterns []atpg.Pattern
+	Faults   *fault.List
+	// Subset is the domain fault-index set the coverage curve is computed
+	// over.
+	Subset []int
+	// Coverage[i] is the cumulative test coverage (0..1) after pattern i.
+	Coverage []float64
+	Counts   fault.Counts
+}
+
+// ConventionalFlow is the baseline the paper compares against: one ATPG
+// run over the whole domain with random fill for maximal fortuitous
+// detection — and maximal switching activity.
+func (sys *System) ConventionalFlow(dom int) (*FlowResult, error) {
+	l := sys.NewFaultList()
+	res, err := sys.ATPG(l, atpg.Options{
+		Dom: dom, Fill: atpg.FillRandom, Seed: sys.Cfg.Seed + 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sys.finishFlow("conventional", dom, l, res.Patterns)
+}
+
+// StepBlocks is the paper's Section 3.1 step ordering for the dominant
+// domain: first the low-drop peripheral blocks together, then B6, and the
+// hot central block B5 alone at the end, all with fill-0 so untargeted
+// blocks stay quiet.
+var StepBlocks = [][]int{
+	{soc.B1, soc.B2, soc.B3, soc.B4},
+	{soc.B6},
+	{soc.B5},
+}
+
+// NewProcedureFlow is the paper's supply-noise-tolerant procedure: three
+// per-block ATPG steps with fill-0. Patterns carry their step index.
+func (sys *System) NewProcedureFlow(dom int) (*FlowResult, error) {
+	return sys.StepFlow("new-procedure", dom, StepBlocks, atpg.Fill0)
+}
+
+// StepFlow runs a multi-step block-targeted flow with the given fill (the
+// generalized form used by the ablation benches). Compaction is bounded by
+// a care-bit budget proportional to the targeted blocks' flop population,
+// so the per-pattern care density — and with it the launch activity that
+// fill-0 cannot suppress — stays scale-invariant.
+func (sys *System) StepFlow(name string, dom int, steps [][]int, fill atpg.Fill) (*FlowResult, error) {
+	l := sys.NewFaultList()
+	var all []atpg.Pattern
+	for si, blocks := range steps {
+		budget := sys.careBudget(dom, blocks)
+		res, err := sys.ATPG(l, atpg.Options{
+			Dom: dom, Fill: fill, Seed: sys.Cfg.Seed + 20 + int64(si),
+			Blocks: blocks, PatternBase: len(all), CareBudget: budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", si+1, err)
+		}
+		for i := range res.Patterns {
+			res.Patterns[i].Step = si
+		}
+		all = append(all, res.Patterns...)
+	}
+	return sys.finishFlow(name, dom, l, all)
+}
+
+// careBudget returns the compaction care-bit budget for a step: ~1% of the
+// targeted blocks' domain flops (the care density full-size industrial
+// patterns exhibit), floored so single faults always fit.
+func (sys *System) careBudget(dom int, blocks []int) int {
+	want := map[int]bool{}
+	for _, b := range blocks {
+		want[b] = true
+	}
+	n := 0
+	for _, f := range sys.D.Flops {
+		inst := sys.D.Inst(f)
+		if inst.Domain == dom && want[inst.Block] {
+			n++
+		}
+	}
+	budget := n / 100
+	if budget < 12 {
+		budget = 12
+	}
+	return budget
+}
+
+// finishFlow computes the coverage curve over the domain's fault subset.
+func (sys *System) finishFlow(name string, dom int, l *fault.List, pats []atpg.Pattern) (*FlowResult, error) {
+	subset := l.InDomain(dom)
+	fr := &FlowResult{
+		Name: name, Dom: dom, Patterns: pats, Faults: l,
+		Subset: subset, Counts: l.CountOf(subset),
+	}
+	detectedAt := make([]int, len(pats))
+	testable := 0
+	for _, fi := range subset {
+		if l.Status[fi] == fault.Detected {
+			p := l.DetectedBy[fi]
+			if p >= 0 && p < len(pats) {
+				detectedAt[p]++
+			}
+		}
+		if l.Status[fi] != fault.Untestable {
+			testable++
+		}
+	}
+	fr.Coverage = make([]float64, len(pats))
+	cum := 0
+	for i, n := range detectedAt {
+		cum += n
+		if testable > 0 {
+			fr.Coverage[i] = float64(cum) / float64(testable)
+		}
+	}
+	return fr, nil
+}
+
+// PatternProfile is the per-pattern power summary used by the Figure 2 and
+// Figure 6 experiments.
+type PatternProfile struct {
+	Index       int
+	Target      int
+	TargetBlock int
+	Step        int
+	STW         float64
+	Toggles     int
+	// ChipSCAPVdd and BlockSCAPVdd are the pattern's SCAP values (mW) at
+	// the top level and per block.
+	ChipSCAPVdd  float64
+	ChipCAPVdd   float64
+	BlockSCAPVdd []float64
+}
+
+// ProfilePatterns runs the streaming SCAP calculator (timing simulation +
+// power meter) over a whole pattern set and returns one summary per
+// pattern.
+func (sys *System) ProfilePatterns(fr *FlowResult) ([]PatternProfile, error) {
+	meter := power.NewMeter(sys.D)
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	out := make([]PatternProfile, len(fr.Patterns))
+	for i := range fr.Patterns {
+		p := &fr.Patterns[i]
+		meter.Reset()
+		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
+		res, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle)
+		if err != nil {
+			return nil, fmt.Errorf("core: profile pattern %d: %w", i, err)
+		}
+		prof := meter.Report(sys.Period)
+		pp := &out[i]
+		pp.Index, pp.Target, pp.Step = i, p.Target, p.Step
+		pp.TargetBlock = fr.Faults.Faults[p.Target].Block
+		pp.STW = res.STW
+		pp.Toggles = res.Toggles
+		pp.ChipSCAPVdd = prof.Chip().SCAPVdd
+		pp.ChipCAPVdd = prof.Chip().CAPVdd
+		pp.BlockSCAPVdd = make([]float64, sys.D.NumBlocks)
+		for b := 0; b < sys.D.NumBlocks; b++ {
+			pp.BlockSCAPVdd[b] = prof.Block(b).SCAPVdd
+		}
+	}
+	return out, nil
+}
+
+// AboveThreshold counts profiles whose SCAP in the given block exceeds the
+// threshold (the paper's screening criterion).
+func AboveThreshold(profiles []PatternProfile, block int, thresholdMW float64) int {
+	n := 0
+	for i := range profiles {
+		if profiles[i].BlockSCAPVdd[block] > thresholdMW {
+			n++
+		}
+	}
+	return n
+}
+
+// DomainSummary is one domain's contribution to a full-chip run.
+type DomainSummary struct {
+	Dom      int
+	Name     string
+	Patterns int
+	Counts   fault.Counts
+}
+
+// FullChip runs the conventional flow for every clock domain (the paper
+// generates "transition fault test patterns per clock domain") and returns
+// the per-domain summaries plus chip totals.
+func (sys *System) FullChip() ([]DomainSummary, fault.Counts, error) {
+	l := sys.NewFaultList()
+	var out []DomainSummary
+	var total fault.Counts
+	base := 0
+	for dom := range sys.D.Domains {
+		res, err := sys.ATPG(l, atpg.Options{
+			Dom: dom, Fill: atpg.FillRandom, Seed: sys.Cfg.Seed + 40 + int64(dom),
+			PatternBase: base,
+		})
+		if err != nil {
+			return nil, total, fmt.Errorf("core: domain %d: %w", dom, err)
+		}
+		base += len(res.Patterns)
+		c := l.CountOf(res.Subset)
+		out = append(out, DomainSummary{
+			Dom: dom, Name: sys.D.Domains[dom].Name,
+			Patterns: len(res.Patterns), Counts: c,
+		})
+		total.Total += c.Total
+		total.Detected += c.Detected
+		total.Undetected += c.Undetected
+		total.Aborted += c.Aborted
+		total.Untestable += c.Untestable
+	}
+	return out, total, nil
+}

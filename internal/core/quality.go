@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scap/internal/fault"
+	"scap/internal/logic"
+	"scap/internal/sim"
+)
+
+// FaultGrade records through how long a path one fault was detected.
+// A transition fault detected through a short path only screens gross
+// delay defects; small-delay defects escape by the slack. This is the
+// quality argument behind the authors' faster-than-at-speed companion
+// work (the paper's ref [20]).
+type FaultGrade struct {
+	Fault   int
+	Pattern int
+	// DetectDelayNs is the longest measured endpoint delay among the
+	// flops that observe the fault (relative to each flop's own clock).
+	DetectDelayNs float64
+	// SlackNs is Period - DetectDelayNs: the size of delay defect that
+	// escapes this detection.
+	SlackNs float64
+}
+
+// QualityReport aggregates detection-path quality over a pattern set.
+type QualityReport struct {
+	PeriodNs   float64
+	Grades     []FaultGrade
+	MeanSlack  float64
+	WorstSlack float64 // the largest escape window
+	BestSlack  float64
+	// Deciles[i] counts faults whose detect delay falls in
+	// [i*10%, (i+1)*10%) of the period: mass on the left means short-path
+	// detections that screen little.
+	Deciles [10]int
+}
+
+// GradeDetections measures, for up to maxFaults detected faults of the
+// flow, the timing-simulated delay of the paths their detecting patterns
+// exercise. Faults are graded against their first detecting pattern.
+func (sys *System) GradeDetections(fr *FlowResult, maxFaults int) (*QualityReport, error) {
+	if maxFaults <= 0 {
+		maxFaults = 1 << 30
+	}
+	d, l := sys.D, fr.Faults
+
+	// Group detected faults by detecting pattern.
+	byPat := map[int][]int{}
+	taken := 0
+	for _, fi := range fr.Subset {
+		if l.Status[fi] != fault.Detected || taken >= maxFaults {
+			continue
+		}
+		p := l.DetectedBy[fi]
+		if p < 0 || p >= len(fr.Patterns) {
+			continue
+		}
+		byPat[p] = append(byPat[p], fi)
+		taken++
+	}
+	if taken == 0 {
+		return nil, fmt.Errorf("core: flow has no graded detections")
+	}
+	pats := make([]int, 0, len(byPat))
+	for p := range byPat {
+		pats = append(pats, p)
+	}
+	sort.Ints(pats)
+
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	rep := &QualityReport{PeriodNs: sys.Period, BestSlack: math.Inf(1)}
+
+	v1W := make([]logic.Word, len(d.Flops))
+	piW := make([]logic.Word, len(d.PIs))
+	for _, pi := range pats {
+		p := &fr.Patterns[pi]
+		// Timing: per-endpoint arrivals for this pattern.
+		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
+		res, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: grading pattern %d: %w", pi, err)
+		}
+		// Fault observation points for this single pattern.
+		for i := range v1W {
+			v1W[i] = logic.Splat(p.V1[i])
+		}
+		for i := range piW {
+			piW[i] = logic.Splat(p.PIs[i])
+		}
+		b := sys.FSim.GoodSim(v1W, piW, fr.Dom, 1)
+		for _, fi := range byPat[pi] {
+			masks := sys.FSim.FailMasks(b, &l.Faults[fi])
+			delay := 0.0
+			for flop, m := range masks {
+				if m&1 == 0 || !res.EndpointActive[flop] {
+					continue
+				}
+				dd := res.EndpointArrival[flop] - sys.Tree.Arrival(d.Flops[flop])
+				if dd > delay {
+					delay = dd
+				}
+			}
+			if delay <= 0 {
+				continue // fault observed through a non-transitioning path
+			}
+			g := FaultGrade{
+				Fault: fi, Pattern: pi,
+				DetectDelayNs: delay, SlackNs: sys.Period - delay,
+			}
+			rep.Grades = append(rep.Grades, g)
+			rep.MeanSlack += g.SlackNs
+			if g.SlackNs > rep.WorstSlack {
+				rep.WorstSlack = g.SlackNs
+			}
+			if g.SlackNs < rep.BestSlack {
+				rep.BestSlack = g.SlackNs
+			}
+			dec := int(delay / sys.Period * 10)
+			if dec < 0 {
+				dec = 0
+			}
+			if dec > 9 {
+				dec = 9
+			}
+			rep.Deciles[dec]++
+		}
+	}
+	if len(rep.Grades) == 0 {
+		return nil, fmt.Errorf("core: no gradable detections")
+	}
+	rep.MeanSlack /= float64(len(rep.Grades))
+	return rep, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"scap/internal/pgrid"
+	"scap/internal/power"
+)
+
+// StatCase is one window of the vector-less analysis (Table 3): Case 1
+// spreads the cycle's switching over the full tester period, Case 2 over
+// half of it — the paper's estimate of the real switching time frame,
+// which doubles the average power.
+type StatCase struct {
+	WindowNs float64
+	Power    *power.StatProfile
+	// WorstVDD/WorstVSS hold the worst node drop per block plus a chip
+	// entry (index NumBlocks), in volts.
+	WorstVDD, WorstVSS []float64
+}
+
+// StatAnalysis is the full statistical IR-drop analysis.
+type StatAnalysis struct {
+	ToggleProb   float64
+	Case1, Case2 StatCase
+	// ThresholdMW is the per-block average switching power threshold the
+	// pattern-generation procedure screens against: the block's Case-2
+	// (half-cycle) average switching power on the VDD network (the paper's
+	// 204 mW for B5). Index NumBlocks is the chip threshold.
+	ThresholdMW []float64
+	// HotBlock is the index of the block with the largest threshold.
+	HotBlock int
+}
+
+// Statistical runs the paper's Section 2.2 analysis on both windows.
+func (sys *System) Statistical() (*StatAnalysis, error) {
+	an := &StatAnalysis{ToggleProb: sys.Cfg.ToggleProb, HotBlock: -1}
+	for i, window := range []float64{sys.Period, sys.Period / 2} {
+		c, err := sys.statCase(window)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			an.Case1 = *c
+		} else {
+			an.Case2 = *c
+		}
+	}
+	an.ThresholdMW = make([]float64, sys.D.NumBlocks+1)
+	hot := 0.0
+	for b := 0; b <= sys.D.NumBlocks; b++ {
+		an.ThresholdMW[b] = an.Case2.Power.Blocks[b].PowerVddMW
+		if b < sys.D.NumBlocks && an.ThresholdMW[b] > hot {
+			hot = an.ThresholdMW[b]
+			an.HotBlock = b
+		}
+	}
+	return an, nil
+}
+
+func (sys *System) statCase(windowNs float64) (*StatCase, error) {
+	d := sys.D
+	c := &StatCase{
+		WindowNs: windowNs,
+		Power:    power.Statistical(d, sys.Cfg.ToggleProb, windowNs),
+	}
+	// Each rail sees half the transitions (rising on VDD, falling on VSS).
+	cur := power.StatCurrents(d, sys.Cfg.ToggleProb, windowNs)
+	for i := range cur {
+		cur[i] /= 2
+	}
+	solve := func(g *pgrid.Grid) ([]float64, error) {
+		sol, err := g.Solve(g.InjectInstCurrents(d, cur))
+		if err != nil {
+			return nil, fmt.Errorf("core: statistical solve: %w", err)
+		}
+		return sol.WorstPerBlock(g, d.NumBlocks), nil
+	}
+	var err error
+	if c.WorstVDD, err = solve(sys.GridVDD); err != nil {
+		return nil, err
+	}
+	if c.WorstVSS, err = solve(sys.GridVSS); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,106 @@
+package delayscale
+
+import (
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/pgrid"
+	"scap/internal/sdf"
+	"scap/internal/sim"
+)
+
+// CornerComparison contrasts the industry-standard corner signoff with the
+// paper's IR-drop-aware re-simulation (Section 3.2: "presently during test
+// pattern signoff, the patterns are simulated at the best and worst-case
+// corners. This is either over optimistic or pessimistic as we apply the
+// corner conditions to all the portions of the design"). A global slow
+// corner derates every cell uniformly; the IR-aware run derates only where
+// the voltage actually sags — the two disagree exactly on the localized
+// failures corner signoff cannot see.
+type CornerComparison struct {
+	// SlowCornerFactor is the uniform derating applied in the slow corner.
+	SlowCornerFactor float64
+	// Violations at the given capture period, per analysis.
+	PeriodNs       float64
+	NominalViol    int // no derating
+	SlowCornerViol int // uniform worst-case corner
+	IRAwareViol    int // localized voltage-derated
+	// MissedBySlow counts endpoints the IR-aware run fails but the slow
+	// corner also fails — zero misses means the corner is safe but the
+	// histogram shows how pessimistic it was: OverkillOfSlow counts
+	// endpoints only the uniform corner fails.
+	MissedBySlow   int
+	OverkillOfSlow int
+}
+
+// CompareCorners runs three signoff analyses of one pattern at the given
+// capture period: nominal, uniform slow corner (every delay scaled by
+// slowFactor), and IR-drop-aware (delays scaled by the local drop map).
+func CompareCorners(s *sim.Simulator, delays *sdf.Delays, tree sim.Clock,
+	g *pgrid.Grid, sol *pgrid.Solution, kvolt, slowFactor float64,
+	v1, v2, pis []logic.V, period float64) (*CornerComparison, error) {
+
+	d := s.Design()
+	run := func(dl *sdf.Delays, clk sim.Clock) ([]float64, []bool, error) {
+		tm := sim.NewTiming(s, dl, clk)
+		res, err := tm.Launch(v1, v2, pis, period, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]float64, len(d.Flops))
+		for i, f := range d.Flops {
+			if res.EndpointActive[i] {
+				out[i] = res.EndpointArrival[i] - clkArrival(clk, f)
+			}
+		}
+		return out, res.EndpointActive, nil
+	}
+
+	nom, nomAct, err := run(delays, tree)
+	if err != nil {
+		return nil, err
+	}
+	slow := delays.Clone()
+	for i := range slow.Rise {
+		slow.Rise[i] *= slowFactor
+		slow.Fall[i] *= slowFactor
+	}
+	slowD, slowAct, err := run(slow, tree)
+	if err != nil {
+		return nil, err
+	}
+	irDelays := ScaleDelays(d, delays, g, sol, kvolt)
+	irD, irAct, err := run(irDelays, tree)
+	if err != nil {
+		return nil, err
+	}
+
+	cc := &CornerComparison{SlowCornerFactor: slowFactor, PeriodNs: period}
+	for i := range d.Flops {
+		lim := period
+		if nomAct[i] && nom[i] > lim {
+			cc.NominalViol++
+		}
+		sv := slowAct[i] && slowD[i] > lim
+		iv := irAct[i] && irD[i] > lim
+		if sv {
+			cc.SlowCornerViol++
+		}
+		if iv {
+			cc.IRAwareViol++
+		}
+		if iv && !sv {
+			cc.MissedBySlow++
+		}
+		if sv && !iv {
+			cc.OverkillOfSlow++
+		}
+	}
+	return cc, nil
+}
+
+func clkArrival(c sim.Clock, f netlist.InstID) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.Arrival(f)
+}

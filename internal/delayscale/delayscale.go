@@ -1,0 +1,138 @@
+// Package delayscale implements the paper's IR-drop-aware re-simulation
+// (the second PLI of Section 3.2): given a pattern's dynamic IR-drop map,
+// every cell delay is scaled by
+//
+//	ScaledCellDelay = Delay · (1 + k_volt · ΔV)
+//
+// with ΔV the local supply droop, and the pattern is re-simulated through
+// the event-driven timing simulator. The clock tree is derated the same
+// way, which is what makes some endpoint delays *decrease* (the paper's
+// Figure 7 Region 2): when the capture flop's clock path slows more than
+// the data path, the delay measured relative to the arriving clock shrinks.
+package delayscale
+
+import (
+	"fmt"
+
+	"scap/internal/clocktree"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/pgrid"
+	"scap/internal/sdf"
+	"scap/internal/sim"
+)
+
+// ScaleDelays returns a copy of the delay table with every instance's rise
+// and fall delays derated by the IR-drop at its placed location.
+func ScaleDelays(d *netlist.Design, delays *sdf.Delays, g *pgrid.Grid, sol *pgrid.Solution, kvolt float64) *sdf.Delays {
+	out := delays.Clone()
+	for i := range d.Insts {
+		inst := &d.Insts[i]
+		drop := sol.At(g, inst.X, inst.Y)
+		if drop < 0 {
+			drop = 0
+		}
+		f := 1 + kvolt*drop
+		out.Rise[i] *= f
+		out.Fall[i] *= f
+	}
+	return out
+}
+
+// ScaledClock derates a clock tree's per-flop arrivals with the same
+// voltage map and implements sim.Clock.
+type ScaledClock struct {
+	arrival map[netlist.InstID]float64
+}
+
+// NewScaledClock precomputes derated clock arrivals for every flop.
+func NewScaledClock(d *netlist.Design, tree *clocktree.Tree, g *pgrid.Grid, sol *pgrid.Solution, kvolt float64) *ScaledClock {
+	sc := &ScaledClock{arrival: make(map[netlist.InstID]float64, len(d.Flops))}
+	dropAt := func(x, y float64) float64 { return sol.At(g, x, y) }
+	for _, f := range d.Flops {
+		sc.arrival[f] = tree.ScaledArrival(f, kvolt, dropAt)
+	}
+	return sc
+}
+
+// Arrival returns the derated clock arrival of flop f.
+func (sc *ScaledClock) Arrival(f netlist.InstID) float64 { return sc.arrival[f] }
+
+// Endpoint is one flop endpoint's measured path delays in the two runs.
+type Endpoint struct {
+	Flop    netlist.InstID
+	Block   int
+	Active  bool    // endpoint saw a transition in the nominal run
+	Nominal float64 // ns, arrival at D minus nominal clock arrival
+	Scaled  float64 // ns, arrival at D minus derated clock arrival
+}
+
+// Delta returns the scaled-minus-nominal delay change (ns).
+func (e *Endpoint) Delta() float64 { return e.Scaled - e.Nominal }
+
+// Impact is the full Figure 7 comparison for one pattern.
+type Impact struct {
+	Endpoints []Endpoint
+	// Slowed / Sped count endpoints active in both runs whose measured
+	// delay grew / shrank by more than 1 ps; Vanished counts endpoints
+	// whose transition disappeared entirely under derating (a hazard that
+	// no longer occurs).
+	Slowed, Sped, Vanished int
+	// MaxSlowdownFrac is the largest relative delay increase among active
+	// endpoints (e.g. 0.30 for the paper's "up to 30%" Region 1).
+	MaxSlowdownFrac float64
+}
+
+// Compare re-simulates one pattern without and with IR-drop-scaled delays
+// and reports per-endpoint path delays relative to each endpoint's own
+// (nominal vs derated) clock arrival. v1/v2/pis describe the launch as in
+// sim.Timing.Launch.
+func Compare(s *sim.Simulator, delays *sdf.Delays, tree *clocktree.Tree,
+	g *pgrid.Grid, sol *pgrid.Solution, kvolt float64,
+	v1, v2, pis []logic.V, period float64) (*Impact, error) {
+
+	d := s.Design()
+	nom := sim.NewTiming(s, delays, tree)
+	nomRes, err := nom.Launch(v1, v2, pis, period, nil)
+	if err != nil {
+		return nil, fmt.Errorf("delayscale: nominal run: %w", err)
+	}
+
+	scaledDelays := ScaleDelays(d, delays, g, sol, kvolt)
+	scaledClock := NewScaledClock(d, tree, g, sol, kvolt)
+	scl := sim.NewTiming(s, scaledDelays, scaledClock)
+	sclRes, err := scl.Launch(v1, v2, pis, period, nil)
+	if err != nil {
+		return nil, fmt.Errorf("delayscale: scaled run: %w", err)
+	}
+
+	imp := &Impact{Endpoints: make([]Endpoint, len(d.Flops))}
+	for i, f := range d.Flops {
+		ep := &imp.Endpoints[i]
+		ep.Flop = f
+		ep.Block = d.Inst(f).Block
+		ep.Active = nomRes.EndpointActive[i]
+		if !ep.Active {
+			continue // the paper plots non-active endpoints at zero delay
+		}
+		ep.Nominal = nomRes.EndpointArrival[i] - tree.Arrival(f)
+		if !sclRes.EndpointActive[i] {
+			ep.Scaled = ep.Nominal // transition vanished: report no shift
+			imp.Vanished++
+			continue
+		}
+		ep.Scaled = sclRes.EndpointArrival[i] - scaledClock.Arrival(f)
+		switch {
+		case ep.Scaled > ep.Nominal+1e-3:
+			imp.Slowed++
+		case ep.Scaled < ep.Nominal-1e-3:
+			imp.Sped++
+		}
+		if ep.Nominal > 0 {
+			if frac := (ep.Scaled - ep.Nominal) / ep.Nominal; frac > imp.MaxSlowdownFrac {
+				imp.MaxSlowdownFrac = frac
+			}
+		}
+	}
+	return imp, nil
+}

@@ -1,0 +1,227 @@
+package delayscale
+
+import (
+	"math"
+	"testing"
+
+	"scap/internal/clocktree"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/parasitic"
+	"scap/internal/pgrid"
+	"scap/internal/place"
+	"scap/internal/sdf"
+	"scap/internal/sim"
+	"scap/internal/soc"
+)
+
+type world struct {
+	d     *netlist.Design
+	fp    *place.Floorplan
+	s     *sim.Simulator
+	dl    *sdf.Delays
+	tree  *clocktree.Tree
+	g     *pgrid.Grid
+	kvolt float64
+}
+
+func build(t *testing.T) *world {
+	t.Helper()
+	d, _, err := soc.Generate(soc.DefaultConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := place.Place(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parasitic.Extract(d, fp, parasitic.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pgrid.New(fp, pgrid.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{
+		d: d, fp: fp, s: s,
+		dl:    sdf.Compute(d),
+		tree:  clocktree.Build(d, fp, clocktree.DefaultParams(), 5),
+		g:     g,
+		kvolt: d.Lib.KVolt,
+	}
+}
+
+// hotSolution builds a synthetic IR-drop map with a hot spot over B5.
+func hotSolution(w *world, drop float64) *pgrid.Solution {
+	n := w.g.P.N
+	sol := &pgrid.Solution{N: n, Drop: make([]float64, n*n)}
+	r := w.fp.Blocks[soc.B5]
+	for node := range sol.Drop {
+		x, y := w.g.NodeXY(node)
+		if r.Contains(x, y) {
+			sol.Drop[node] = drop
+			if drop > sol.Worst {
+				sol.Worst = drop
+			}
+		}
+	}
+	return sol
+}
+
+func TestScaleDelaysAppliesPaperFormula(t *testing.T) {
+	w := build(t)
+	sol := hotSolution(w, 0.1)
+	scaled := ScaleDelays(w.d, w.dl, w.g, sol, 0.9)
+	for i := range w.d.Insts {
+		inst := &w.d.Insts[i]
+		want := w.dl.Rise[i]
+		if w.fp.Blocks[soc.B5].Contains(inst.X, inst.Y) {
+			want *= 1.09
+		}
+		if math.Abs(scaled.Rise[i]-want) > 1e-9*want {
+			t.Fatalf("inst %s: scaled %v, want %v", inst.Name, scaled.Rise[i], want)
+		}
+	}
+}
+
+func TestScaledClockSlowsOnlyAffectedRoutes(t *testing.T) {
+	w := build(t)
+	sol := hotSolution(w, 0.2)
+	sc := NewScaledClock(w.d, w.tree, w.g, sol, 0.9)
+	slowed := 0
+	for _, f := range w.d.Flops {
+		nom, der := w.tree.Arrival(f), sc.Arrival(f)
+		if der < nom-1e-9 {
+			t.Fatalf("flop %d clock sped up", f)
+		}
+		if der > nom+1e-9 {
+			slowed++
+		}
+	}
+	if slowed == 0 {
+		t.Fatal("no clock route crosses the hot region?")
+	}
+}
+
+func TestCompareZeroDropIsNeutral(t *testing.T) {
+	w := build(t)
+	n := w.g.P.N
+	sol := &pgrid.Solution{N: n, Drop: make([]float64, n*n)}
+	v1, v2, pis := launchVectors(w)
+	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Slowed != 0 || imp.Sped != 0 {
+		t.Fatalf("zero drop changed %d+%d endpoints", imp.Slowed, imp.Sped)
+	}
+	if imp.MaxSlowdownFrac > 1e-12 {
+		t.Fatalf("zero drop slowdown %v", imp.MaxSlowdownFrac)
+	}
+}
+
+func TestCompareHotB5SlowsItsEndpoints(t *testing.T) {
+	w := build(t)
+	sol := hotSolution(w, 0.25)
+	v1, v2, pis := launchVectors(w)
+	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Slowed == 0 {
+		t.Fatal("hot spot slowed nothing")
+	}
+	if imp.MaxSlowdownFrac <= 0 || imp.MaxSlowdownFrac > 0.5 {
+		t.Fatalf("max slowdown %v implausible", imp.MaxSlowdownFrac)
+	}
+	// The hot-block endpoints must dominate the slowdown; at least one B5
+	// endpoint grows. And because the clock tree also slows, some endpoint
+	// should shrink (the paper's Region 2) — tolerate zero at tiny scales.
+	slowedB5 := 0
+	for i := range imp.Endpoints {
+		ep := &imp.Endpoints[i]
+		if !ep.Active {
+			if ep.Nominal != 0 || ep.Scaled != 0 {
+				t.Fatal("inactive endpoint carries delay")
+			}
+			continue
+		}
+		if ep.Block == soc.B5 && ep.Delta() > 1e-3 {
+			slowedB5++
+		}
+	}
+	if slowedB5 == 0 {
+		t.Fatal("no B5 endpoint slowed despite hot B5")
+	}
+	t.Logf("slowed %d, sped %d, max slowdown %.1f%%", imp.Slowed, imp.Sped, 100*imp.MaxSlowdownFrac)
+}
+
+// launchVectors builds a deterministic clka LOC launch.
+func launchVectors(w *world) (v1, v2, pis []logic.V) {
+	d, s := w.d, w.s
+	v1 = make([]logic.V, len(d.Flops))
+	pis = make([]logic.V, len(d.PIs))
+	for i := range v1 {
+		v1[i] = logic.FromBool(i%2 == 0)
+	}
+	for i := range pis {
+		pis[i] = logic.FromBool(i%3 == 0)
+	}
+	nets := s.NewNets()
+	s.SetPIs(nets, pis)
+	s.ApplyState(nets, v1)
+	s.Propagate(nets)
+	cap1 := s.CaptureState(nets)
+	v2 = make([]logic.V, len(d.Flops))
+	for i, f := range d.Flops {
+		if d.Inst(f).Domain == 0 {
+			v2[i] = cap1[i]
+		} else {
+			v2[i] = v1[i]
+		}
+	}
+	return v1, v2, pis
+}
+
+func TestCompareCorners(t *testing.T) {
+	w := build(t)
+	sol := hotSolution(w, 0.3)
+	v1, v2, pis := launchVectors(w)
+	// Pick a tight period so violations exist: just above the nominal max
+	// endpoint delay.
+	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxNom := 0.0
+	for i := range imp.Endpoints {
+		if imp.Endpoints[i].Active && imp.Endpoints[i].Nominal > maxNom {
+			maxNom = imp.Endpoints[i].Nominal
+		}
+	}
+	period := maxNom * 1.05
+	cc, err := CompareCorners(w.s, w.dl, w.tree, w.g, sol, w.kvolt, 1.30,
+		v1, v2, pis, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("period %.2f: nominal %d, slow-corner %d, IR-aware %d (missed %d, corner overkill %d)",
+		period, cc.NominalViol, cc.SlowCornerViol, cc.IRAwareViol,
+		cc.MissedBySlow, cc.OverkillOfSlow)
+	if cc.NominalViol != 0 {
+		t.Fatal("period was chosen above the nominal max — no nominal violations expected")
+	}
+	// The uniform slow corner derates everything by 30%; the hot-spot is
+	// localized, so the corner must flag at least as many endpoints as the
+	// IR-aware run fails in the hot region — the paper's pessimism.
+	if cc.SlowCornerViol == 0 {
+		t.Fatal("slow corner flagged nothing — scenario degenerate")
+	}
+	if cc.OverkillOfSlow == 0 {
+		t.Fatal("uniform corner showed no pessimism vs the localized analysis")
+	}
+}

@@ -1,0 +1,387 @@
+// Package faultsim implements parallel-pattern single-fault propagation
+// (PPSFP) for transition delay faults under launch-off-capture: 64 pattern
+// pairs are simulated at once through the good machine, and each fault's
+// frame-2 stuck-at effect is propagated through a level-ordered cone with
+// early exit. It provides the fault dropping that keeps ATPG fast and the
+// coverage accounting behind the paper's Figure 4 curves.
+package faultsim
+
+import (
+	"fmt"
+
+	"scap/internal/cell"
+	"scap/internal/fault"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/sim"
+)
+
+// Sim is a reusable transition-fault simulator for one design.
+type Sim struct {
+	s      *sim.Simulator
+	d      *netlist.Design
+	levels []int32
+
+	// Observation points per clock domain: the D nets of that domain's
+	// flops (launch-off-capture observes captured flops only; primary
+	// outputs are not measured, per the paper).
+	obsNets [][]netlist.NetID
+	// isObs[dom][net] marks observation nets for O(1) lookup.
+	isObs [][]bool
+	// obsOwners[dom][net] lists the flop indexes (design flop order) whose
+	// D input is that net — the flops a tester sees failing.
+	obsOwners []map[netlist.NetID][]int
+
+	// scratch state for cone propagation (reset after each fault):
+	fv      []logic.Word // faulty frame-2 net values where touched
+	touched []bool
+	tlist   []netlist.NetID
+	queued  []bool
+	buckets [][]netlist.InstID // gates to evaluate, bucketed by level
+}
+
+// New builds a fault simulator on top of a zero-delay simulator.
+func New(s *sim.Simulator) (*Sim, error) {
+	d := s.Design()
+	lv, err := d.Levels()
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: %w", err)
+	}
+	ml := int32(0)
+	for _, l := range lv {
+		if l > ml {
+			ml = l
+		}
+	}
+	fs := &Sim{
+		s: s, d: d, levels: lv,
+		fv:      make([]logic.Word, d.NumNets()),
+		touched: make([]bool, d.NumNets()),
+		queued:  make([]bool, d.NumInsts()),
+		buckets: make([][]netlist.InstID, ml+2),
+	}
+	fs.obsNets = make([][]netlist.NetID, len(d.Domains))
+	fs.isObs = make([][]bool, len(d.Domains))
+	fs.obsOwners = make([]map[netlist.NetID][]int, len(d.Domains))
+	for dom := range d.Domains {
+		fs.isObs[dom] = make([]bool, d.NumNets())
+		fs.obsOwners[dom] = map[netlist.NetID][]int{}
+	}
+	for fi, f := range d.Flops {
+		inst := d.Inst(f)
+		dn := inst.In[0]
+		fs.obsNets[inst.Domain] = append(fs.obsNets[inst.Domain], dn)
+		fs.isObs[inst.Domain][dn] = true
+		fs.obsOwners[inst.Domain][dn] = append(fs.obsOwners[inst.Domain][dn], fi)
+	}
+	return fs, nil
+}
+
+// FailMasks returns, for fault f under the batch, the per-flop failure
+// signature: flop index (design flop order) -> slot mask where the flop
+// captures a faulty value. Unlike Detect it propagates the whole cone (no
+// early exit) so the signature is complete — the prediction a tester's
+// failing-cycle log is matched against during diagnosis.
+func (fs *Sim) FailMasks(b *Batch, f *fault.Fault) map[int]uint64 {
+	act := fs.Activation(b, f)
+	if act == 0 {
+		return nil
+	}
+	d := fs.d
+	stuck := logic.Splat(logic.Zero)
+	if f.Type == fault.STF {
+		stuck = logic.Splat(logic.One)
+	}
+	out := map[int]uint64{}
+	record := func(n netlist.NetID, faulty logic.Word) {
+		if !fs.isObs[b.Dom][n] {
+			return
+		}
+		if m := b.N2[n].Diff(faulty) & act; m != 0 {
+			for _, fi := range fs.obsOwners[b.Dom][n] {
+				out[fi] |= m
+			}
+		}
+	}
+
+	fs.setFaulty(f.Net, stuck)
+	record(f.Net, stuck)
+	fs.scheduleLoads(f.Net)
+	for lv := 1; lv < len(fs.buckets); lv++ {
+		bucket := fs.buckets[lv]
+		if len(bucket) == 0 {
+			continue
+		}
+		fs.buckets[lv] = bucket[:0]
+		for _, g := range bucket {
+			fs.queued[g] = false
+			inst := &d.Insts[g]
+			var in [4]logic.Word
+			for p, n := range inst.In {
+				if fs.touched[n] {
+					in[p] = fs.fv[n]
+				} else {
+					in[p] = b.N2[n]
+				}
+			}
+			o := cell.EvalWord(inst.Kind, in[:len(inst.In)])
+			cur := b.N2[inst.Out]
+			if fs.touched[inst.Out] {
+				cur = fs.fv[inst.Out]
+			}
+			if o == cur {
+				continue
+			}
+			fs.setFaulty(inst.Out, o)
+			record(inst.Out, o)
+			fs.scheduleLoads(inst.Out)
+		}
+	}
+	for _, n := range fs.tlist {
+		fs.touched[n] = false
+	}
+	fs.tlist = fs.tlist[:0]
+	for lv := range fs.buckets {
+		for _, g := range fs.buckets[lv] {
+			fs.queued[g] = false
+		}
+		fs.buckets[lv] = fs.buckets[lv][:0]
+	}
+	return out
+}
+
+// Batch holds the good-machine simulation of up to 64 launch-off-capture
+// pattern pairs targeting one clock domain.
+type Batch struct {
+	Dom int
+	// N1 and N2 are the per-net frame-1 (initialization) and frame-2
+	// (launch/capture) good values.
+	N1, N2 []logic.Word
+	// V1 and V2 are the per-flop states before and at launch.
+	V1, V2 []logic.Word
+	// Captured is the per-flop frame-2 captured state (only meaningful for
+	// flops of Dom; others hold).
+	Captured []logic.Word
+	// Valid masks the slots that carry real patterns.
+	Valid uint64
+
+	pis []logic.Word
+}
+
+// GoodSim simulates the good machine for a batch of launch-off-capture
+// pattern pairs: v1 is the per-flop scan-in state, pis the constant
+// primary-input values. Only flops of domain dom launch and capture; all
+// others hold their v1 value.
+func (fs *Sim) GoodSim(v1, pis []logic.Word, dom int, valid uint64) *Batch {
+	b, cap1 := fs.frame1(v1, pis, dom, valid)
+	d := fs.d
+	v2 := make([]logic.Word, len(d.Flops))
+	for i, f := range d.Flops {
+		if d.Inst(f).Domain == dom {
+			v2[i] = cap1[i]
+		} else {
+			v2[i] = v1[i]
+		}
+	}
+	fs.frame2(b, v2)
+	return b
+}
+
+// GoodSimShift simulates the good machine for launch-off-shift patterns:
+// the launch state of each domain flop is the frame-1 value of its shift
+// source net (previous chain cell or scan-in pin); flops absent from src
+// hold.
+func (fs *Sim) GoodSimShift(v1, pis []logic.Word, dom int, valid uint64,
+	src map[netlist.InstID]netlist.NetID) *Batch {
+
+	b, _ := fs.frame1(v1, pis, dom, valid)
+	d := fs.d
+	v2 := make([]logic.Word, len(d.Flops))
+	for i, f := range d.Flops {
+		if n, ok := src[f]; ok && d.Inst(f).Domain == dom {
+			v2[i] = b.N1[n]
+		} else {
+			v2[i] = v1[i]
+		}
+	}
+	fs.frame2(b, v2)
+	return b
+}
+
+// frame1 settles the initialization frame and returns the batch shell plus
+// the frame-1 captured state.
+func (fs *Sim) frame1(v1, pis []logic.Word, dom int, valid uint64) (*Batch, []logic.Word) {
+	s, d := fs.s, fs.d
+	b := &Batch{Dom: dom, Valid: valid, V1: v1}
+	if pis == nil {
+		pis = make([]logic.Word, len(d.PIs)) // all-X primary inputs
+	}
+	b.pis = pis
+	n1 := s.NewNetsW()
+	s.SetPIsW(n1, pis)
+	s.ApplyStateW(n1, v1)
+	s.PropagateW(n1)
+	b.N1 = n1
+	return b, s.CaptureStateW(n1)
+}
+
+// frame2 settles the launch/capture frame for the given launch state.
+func (fs *Sim) frame2(b *Batch, v2 []logic.Word) {
+	s := fs.s
+	n2 := s.NewNetsW()
+	s.SetPIsW(n2, b.pis)
+	s.ApplyStateW(n2, v2)
+	s.PropagateW(n2)
+	b.N2 = n2
+	b.V2 = v2
+	b.Captured = s.CaptureStateW(n2)
+}
+
+// Activation returns the slot mask where fault f's launch transition occurs
+// (frame-1 value then frame-2 value at the site, e.g. 0→1 for slow-to-rise).
+func (fs *Sim) Activation(b *Batch, f *fault.Fault) uint64 {
+	n1, n2 := b.N1[f.Net], b.N2[f.Net]
+	if f.Type == fault.STR {
+		return n1.Zero & n2.One & b.Valid
+	}
+	return n1.One & n2.Zero & b.Valid
+}
+
+// Detect returns the slot mask where fault f is detected by the batch:
+// the launch transition occurs and the frame-2 stuck-at effect reaches a
+// captured flop of the batch's domain.
+func (fs *Sim) Detect(b *Batch, f *fault.Fault) uint64 {
+	act := fs.Activation(b, f)
+	if act == 0 {
+		return 0
+	}
+	d := fs.d
+
+	// Inject the stuck value at the site in frame 2 and propagate the
+	// difference through the level-ordered cone.
+	stuck := logic.Splat(logic.Zero) // slow-to-rise behaves stuck-at-0 in frame 2
+	if f.Type == fault.STF {
+		stuck = logic.Splat(logic.One)
+	}
+
+	var detect uint64
+	fs.setFaulty(f.Net, stuck)
+	if fs.isObs[b.Dom][f.Net] {
+		detect |= b.N2[f.Net].Diff(stuck) & act
+	}
+	fs.scheduleLoads(f.Net)
+
+	for lv := 1; lv < len(fs.buckets) && detect != act; lv++ {
+		bucket := fs.buckets[lv]
+		if len(bucket) == 0 {
+			continue
+		}
+		fs.buckets[lv] = bucket[:0]
+		for _, g := range bucket {
+			fs.queued[g] = false
+			if detect == act {
+				continue
+			}
+			inst := &d.Insts[g]
+			var in [4]logic.Word
+			for p, n := range inst.In {
+				if fs.touched[n] {
+					in[p] = fs.fv[n]
+				} else {
+					in[p] = b.N2[n]
+				}
+			}
+			out := cell.EvalWord(inst.Kind, in[:len(inst.In)])
+			cur := b.N2[inst.Out]
+			if fs.touched[inst.Out] {
+				cur = fs.fv[inst.Out]
+			}
+			if out == cur {
+				continue
+			}
+			fs.setFaulty(inst.Out, out)
+			if fs.isObs[b.Dom][inst.Out] {
+				detect |= b.N2[inst.Out].Diff(out) & act
+			}
+			fs.scheduleLoads(inst.Out)
+		}
+	}
+
+	// Reset scratch state.
+	for _, n := range fs.tlist {
+		fs.touched[n] = false
+	}
+	fs.tlist = fs.tlist[:0]
+	for lv := range fs.buckets {
+		for _, g := range fs.buckets[lv] {
+			fs.queued[g] = false
+		}
+		fs.buckets[lv] = fs.buckets[lv][:0]
+	}
+	return detect
+}
+
+func (fs *Sim) setFaulty(n netlist.NetID, v logic.Word) {
+	if !fs.touched[n] {
+		fs.touched[n] = true
+		fs.tlist = append(fs.tlist, n)
+	}
+	fs.fv[n] = v
+}
+
+func (fs *Sim) scheduleLoads(n netlist.NetID) {
+	d := fs.d
+	for _, ld := range d.Nets[n].Loads {
+		inst := &d.Insts[ld.Inst]
+		if inst.IsFlop() || fs.queued[ld.Inst] {
+			continue
+		}
+		fs.queued[ld.Inst] = true
+		lv := fs.levels[ld.Inst]
+		fs.buckets[lv] = append(fs.buckets[lv], ld.Inst)
+	}
+}
+
+// Drop runs detection for every not-yet-detected fault in subset against
+// the batch and marks newly detected faults with the index of the earliest
+// detecting pattern (base + slot). It returns the number of faults dropped.
+func (fs *Sim) Drop(l *fault.List, subset []int, b *Batch, base int) int {
+	dropped := 0
+	for _, fi := range subset {
+		if l.Status[fi] != fault.Undetected {
+			continue
+		}
+		det := fs.Detect(b, &l.Faults[fi])
+		if det == 0 {
+			continue
+		}
+		slot := 0
+		for det&1 == 0 {
+			det >>= 1
+			slot++
+		}
+		l.MarkDetected(fi, base+slot)
+		dropped++
+	}
+	return dropped
+}
+
+// DetectionCounts adds, for every fault in subset, the number of batch
+// patterns that detect it into counts (indexed like the fault list). It
+// backs n-detect metrics: industrial flows often require every fault be
+// detected n times to improve small-delay-defect screening.
+func (fs *Sim) DetectionCounts(l *fault.List, subset []int, b *Batch, counts []int) {
+	for _, fi := range subset {
+		if det := fs.Detect(b, &l.Faults[fi]); det != 0 {
+			counts[fi] += popcount64(det)
+		}
+	}
+}
+
+func popcount64(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

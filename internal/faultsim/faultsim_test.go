@@ -1,0 +1,348 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"scap/internal/cell"
+	"scap/internal/fault"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/sim"
+	"scap/internal/soc"
+)
+
+// toggler builds: f1.Q=q1 -> INV -> n1; f1.D=n1 (self-toggling), f2.D=n1.
+func toggler(t *testing.T) (*netlist.Design, *Sim, netlist.NetID, netlist.NetID) {
+	t.Helper()
+	d := netlist.New("tog", cell.New180nm())
+	d.NumBlocks = 1
+	d.Domains = []netlist.DomainInfo{{Name: "clk", FreqMHz: 50, PeriodNs: 20}}
+	q1 := d.AddNet("q1")
+	q2 := d.AddNet("q2")
+	n1 := d.AddNet("n1")
+	d.AddInst("inv", cell.Inv, []netlist.NetID{q1}, n1, 0)
+	f1 := d.AddInst("f1", cell.DFF, []netlist.NetID{n1}, q1, 0)
+	f2 := d.AddInst("f2", cell.DFF, []netlist.NetID{n1}, q2, 0)
+	d.SetDomain(f1, 0, false)
+	d.SetDomain(f2, 0, false)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fs, q1, n1
+}
+
+func TestDetectOnToggler(t *testing.T) {
+	d, fs, q1, n1 := toggler(t)
+	// Patterns: slot 0 has q1=0, slot 1 has q1=1; slots 2.. invalid.
+	v1 := make([]logic.Word, len(d.Flops))
+	for i := range v1 {
+		v1[i] = logic.AllX.Set(0, logic.Zero).Set(1, logic.One)
+	}
+	b := fs.GoodSim(v1, nil, 0, 0b11)
+
+	cases := []struct {
+		net  netlist.NetID
+		typ  fault.Type
+		want uint64
+	}{
+		{q1, fault.STR, 0b01}, // q1 rises only when V1 q1=0
+		{q1, fault.STF, 0b10},
+		{n1, fault.STR, 0b10}, // n1 = !q1: rises when V1 q1=1
+		{n1, fault.STF, 0b01},
+	}
+	for _, c := range cases {
+		f := fault.Fault{Net: c.net, Type: c.typ}
+		if got := fs.Detect(b, &f); got != c.want {
+			t.Errorf("Detect(%s %v) = %b, want %b", d.Nets[c.net].Name, c.typ, got, c.want)
+		}
+		if act := fs.Activation(b, &f); act != c.want {
+			t.Errorf("Activation(%s %v) = %b, want %b", d.Nets[c.net].Name, c.typ, act, c.want)
+		}
+	}
+}
+
+func TestValidMaskRespected(t *testing.T) {
+	d, fs, q1, _ := toggler(t)
+	v1 := make([]logic.Word, len(d.Flops))
+	for i := range v1 {
+		v1[i] = logic.Splat(logic.Zero)
+	}
+	b := fs.GoodSim(v1, nil, 0, 0b1) // only slot 0 valid
+	f := fault.Fault{Net: q1, Type: fault.STR}
+	if got := fs.Detect(b, &f); got != 0b1 {
+		t.Fatalf("Detect = %b, want only valid slot", got)
+	}
+}
+
+// scalarReference recomputes detection for one fault and one pattern with a
+// straightforward scalar simulation, independent of the cone machinery.
+func scalarReference(d *netlist.Design, s *sim.Simulator, v1 []logic.V, pis []logic.V,
+	dom int, f *fault.Fault) bool {
+
+	n1 := s.NewNets()
+	s.SetPIs(n1, pis)
+	s.ApplyState(n1, v1)
+	s.Propagate(n1)
+	cap1 := s.CaptureState(n1)
+	v2 := make([]logic.V, len(d.Flops))
+	for i, fl := range d.Flops {
+		if d.Inst(fl).Domain == dom {
+			v2[i] = cap1[i]
+		} else {
+			v2[i] = v1[i]
+		}
+	}
+	n2 := s.NewNets()
+	s.SetPIs(n2, pis)
+	s.ApplyState(n2, v2)
+	s.Propagate(n2)
+
+	// Activation.
+	if f.Type == fault.STR && !(n1[f.Net] == logic.Zero && n2[f.Net] == logic.One) {
+		return false
+	}
+	if f.Type == fault.STF && !(n1[f.Net] == logic.One && n2[f.Net] == logic.Zero) {
+		return false
+	}
+
+	// Faulty frame 2: force the stuck value at the site during propagation.
+	stuck := logic.Zero
+	if f.Type == fault.STF {
+		stuck = logic.One
+	}
+	fn := make([]logic.V, len(n2))
+	s.SetPIs(fn, pis)
+	s.ApplyState(fn, v2)
+	order, _ := d.TopoOrder()
+	if fn[f.Net] != logic.X || d.Nets[f.Net].Driver == netlist.NoInst {
+		fn[f.Net] = stuck // site is a state/PI net
+	}
+	var buf [4]logic.V
+	for _, id := range order {
+		inst := d.Inst(id)
+		if inst.IsFlop() {
+			continue
+		}
+		in := buf[:len(inst.In)]
+		for p, n := range inst.In {
+			v := fn[n]
+			if n == f.Net {
+				v = stuck
+			}
+			in[p] = v
+		}
+		fn[inst.Out] = cell.Eval(inst.Kind, in)
+	}
+	fn[f.Net] = stuck
+
+	for _, fl := range d.Flops {
+		inst := d.Inst(fl)
+		if inst.Domain != dom {
+			continue
+		}
+		dn := inst.In[0]
+		if n2[dn] != fn[dn] && n2[dn] != logic.X && fn[dn] != logic.X {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDetectMatchesScalarReference is the load-bearing cross-check on the
+// generated SOC: cone-based parallel detection must agree with brute-force
+// scalar fault injection for sampled faults and random patterns.
+func TestDetectMatchesScalarReference(t *testing.T) {
+	d, _, err := soc.Generate(soc.DefaultConfig(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := fault.Universe(d)
+	r := rand.New(rand.NewSource(5))
+
+	const dom = 0
+	v1 := make([]logic.Word, len(d.Flops))
+	pisW := make([]logic.Word, len(d.PIs))
+	pis := make([]logic.V, len(d.PIs))
+	for i := range pis {
+		pis[i] = logic.FromBool(r.Intn(2) == 1)
+		pisW[i] = logic.Splat(pis[i])
+	}
+	for i := range v1 {
+		known := ^uint64(0)
+		ones := r.Uint64()
+		v1[i] = logic.Word{Zero: known &^ ones, One: ones}
+	}
+	b := fs.GoodSim(v1, pisW, dom, ^uint64(0))
+
+	checked := 0
+	for fi := 0; fi < len(l.Faults) && checked < 400; fi += 1 + r.Intn(7) {
+		f := &l.Faults[fi]
+		got := fs.Detect(b, f)
+		for _, slot := range []uint{0, 13, 37, 63} {
+			v1s := make([]logic.V, len(d.Flops))
+			for i := range v1s {
+				v1s[i] = v1[i].Get(slot)
+			}
+			want := scalarReference(d, s, v1s, pis, dom, f)
+			if gotBit := got&(1<<slot) != 0; gotBit != want {
+				t.Fatalf("fault %s slot %d: parallel %v, scalar %v",
+					l.String(fi), slot, gotBit, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no faults checked")
+	}
+}
+
+func TestDropMarksEarliestPattern(t *testing.T) {
+	d, fs, q1, _ := toggler(t)
+	l := fault.Universe(d)
+	var target int
+	found := false
+	for i := range l.Faults {
+		if l.Faults[i].Net == q1 && l.Faults[i].Type == fault.STR {
+			target, found = i, true
+		}
+	}
+	if !found {
+		t.Fatal("q1 STR collapsed away unexpectedly")
+	}
+	v1 := make([]logic.Word, len(d.Flops))
+	for i := range v1 {
+		// Slots 0,1 have q1=1 (no STR activation), slot 2 has q1=0.
+		v1[i] = logic.Splat(logic.One).Set(2, logic.Zero)
+	}
+	b := fs.GoodSim(v1, nil, 0, 0b111)
+	subset := []int{target}
+	n := fs.Drop(l, subset, b, 100)
+	if n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	if l.Status[target] != fault.Detected || l.DetectedBy[target] != 102 {
+		t.Fatalf("status %v by %d, want detected by 102", l.Status[target], l.DetectedBy[target])
+	}
+	// A second drop must not re-mark.
+	if n := fs.Drop(l, subset, b, 200); n != 0 {
+		t.Fatalf("re-dropped %d", n)
+	}
+}
+
+func TestScratchStateResetBetweenFaults(t *testing.T) {
+	// Running many detections back to back must not leak state: detect the
+	// same fault twice and expect identical masks.
+	d, _, err := soc.Generate(soc.DefaultConfig(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	fs, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := fault.Universe(d)
+	r := rand.New(rand.NewSource(6))
+	v1 := make([]logic.Word, len(d.Flops))
+	for i := range v1 {
+		known := ^uint64(0)
+		ones := r.Uint64()
+		v1[i] = logic.Word{Zero: known &^ ones, One: ones}
+	}
+	b := fs.GoodSim(v1, nil, 0, ^uint64(0))
+	first := make([]uint64, 0, 200)
+	for fi := 0; fi < 200 && fi < len(l.Faults); fi++ {
+		first = append(first, fs.Detect(b, &l.Faults[fi]))
+	}
+	for fi := 0; fi < len(first); fi++ {
+		if got := fs.Detect(b, &l.Faults[fi]); got != first[fi] {
+			t.Fatalf("fault %d: second run %b != first %b", fi, got, first[fi])
+		}
+	}
+}
+
+// TestFailMasksConsistentWithDetect: the union of per-flop failure masks
+// must equal the Detect mask — both views of the same fault effect.
+func TestFailMasksConsistentWithDetect(t *testing.T) {
+	d, _, err := soc.Generate(soc.DefaultConfig(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	fs, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := fault.Universe(d)
+	r := rand.New(rand.NewSource(17))
+	v1 := make([]logic.Word, len(d.Flops))
+	pis := make([]logic.Word, len(d.PIs))
+	for i := range v1 {
+		ones := r.Uint64()
+		v1[i] = logic.Word{Zero: ^ones, One: ones}
+	}
+	for i := range pis {
+		ones := r.Uint64()
+		pis[i] = logic.Word{Zero: ^ones, One: ones}
+	}
+	b := fs.GoodSim(v1, pis, 0, ^uint64(0))
+	checked := 0
+	for fi := 0; fi < len(l.Faults) && checked < 300; fi += 3 {
+		f := &l.Faults[fi]
+		det := fs.Detect(b, f)
+		masks := fs.FailMasks(b, f)
+		var union uint64
+		for flop, m := range masks {
+			if d.Inst(d.Flops[flop]).Domain != 0 {
+				t.Fatalf("fault %s fails a non-domain flop", l.String(fi))
+			}
+			union |= m
+		}
+		if union != det {
+			t.Fatalf("fault %s: FailMasks union %b != Detect %b", l.String(fi), union, det)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}
+
+func TestDetectionCountsAccumulate(t *testing.T) {
+	d, fs, q1, _ := toggler(t)
+	l := fault.Universe(d)
+	v1 := make([]logic.Word, len(d.Flops))
+	for i := range v1 {
+		// Slots 0,2: q1=0 (STR activates); slot 1: q1=1.
+		v1[i] = logic.Splat(logic.Zero).Set(1, logic.One)
+	}
+	b := fs.GoodSim(v1, nil, 0, 0b111)
+	var target int
+	for i := range l.Faults {
+		if l.Faults[i].Net == q1 && l.Faults[i].Type == fault.STR {
+			target = i
+		}
+	}
+	counts := make([]int, len(l.Faults))
+	fs.DetectionCounts(l, []int{target}, b, counts)
+	if counts[target] != 2 {
+		t.Fatalf("q1 STR detected %d times, want 2 (slots 0 and 2)", counts[target])
+	}
+}

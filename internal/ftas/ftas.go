@@ -1,0 +1,86 @@
+// Package ftas implements the faster-than-at-speed analysis of the
+// authors' companion work (the paper's reference [20], ICCAD'06):
+// capturing earlier than the functional period detects small delay
+// defects, but IR-drop-slowed paths then fail on *good* silicon. Given a
+// pattern's nominal and IR-drop-derated endpoint delays (from
+// internal/delayscale), the sweep reports, per candidate capture period,
+// how many endpoints violate timing in each corner — the excess under
+// derating is the overkill the paper's Figure 7 warns about — and derives
+// the fastest safe capture frequency.
+package ftas
+
+import (
+	"fmt"
+	"sort"
+
+	"scap/internal/delayscale"
+)
+
+// Point is one capture-period step of the sweep.
+type Point struct {
+	PeriodNs float64
+	FreqMHz  float64
+	// NomViolations endpoints miss timing even at nominal voltage (true
+	// small-delay screening); ScaledViolations miss under IR-drop;
+	// Overkill = scaled - nominal: good-chip failures caused by the test's
+	// own supply noise.
+	NomViolations, ScaledViolations, Overkill int
+}
+
+// Result is the complete sweep.
+type Result struct {
+	Points []Point
+	// MaxSafeFreqMHz is the highest swept frequency with zero overkill.
+	MaxSafeFreqMHz float64
+	// MinPeriodNoOverkillNs is the matching period (0 if none qualifies).
+	MinPeriodNoOverkillNs float64
+}
+
+// Sweep evaluates capture periods from maxPeriod down to minPeriod in
+// steps (all ns). Margin is the setup guard subtracted from each period.
+func Sweep(imp *delayscale.Impact, minPeriod, maxPeriod, step, margin float64) (*Result, error) {
+	if step <= 0 || minPeriod <= 0 || maxPeriod < minPeriod {
+		return nil, fmt.Errorf("ftas: bad sweep range [%g, %g] step %g", minPeriod, maxPeriod, step)
+	}
+	// Collect active endpoint delays once.
+	var nom, scl []float64
+	for i := range imp.Endpoints {
+		ep := &imp.Endpoints[i]
+		if !ep.Active {
+			continue
+		}
+		nom = append(nom, ep.Nominal)
+		scl = append(scl, ep.Scaled)
+	}
+	sort.Float64s(nom)
+	sort.Float64s(scl)
+	countAbove := func(sorted []float64, limit float64) int {
+		// First index with value > limit.
+		lo := sort.SearchFloat64s(sorted, limit)
+		for lo < len(sorted) && sorted[lo] <= limit {
+			lo++
+		}
+		return len(sorted) - lo
+	}
+
+	res := &Result{}
+	for p := maxPeriod; p >= minPeriod-1e-9; p -= step {
+		limit := p - margin
+		pt := Point{
+			PeriodNs:         p,
+			FreqMHz:          1000 / p,
+			NomViolations:    countAbove(nom, limit),
+			ScaledViolations: countAbove(scl, limit),
+		}
+		pt.Overkill = pt.ScaledViolations - pt.NomViolations
+		if pt.Overkill < 0 {
+			pt.Overkill = 0
+		}
+		res.Points = append(res.Points, pt)
+		if pt.Overkill == 0 && (res.MinPeriodNoOverkillNs == 0 || p < res.MinPeriodNoOverkillNs) {
+			res.MinPeriodNoOverkillNs = p
+			res.MaxSafeFreqMHz = pt.FreqMHz
+		}
+	}
+	return res, nil
+}

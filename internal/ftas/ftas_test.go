@@ -1,0 +1,98 @@
+package ftas
+
+import (
+	"testing"
+
+	"scap/internal/delayscale"
+	"scap/internal/netlist"
+)
+
+// fakeImpact builds an Impact with known endpoint delays.
+func fakeImpact(pairs [][2]float64) *delayscale.Impact {
+	imp := &delayscale.Impact{}
+	for i, p := range pairs {
+		imp.Endpoints = append(imp.Endpoints, delayscale.Endpoint{
+			Flop: netlist.InstID(i), Active: true, Nominal: p[0], Scaled: p[1],
+		})
+	}
+	// One inactive endpoint that must be ignored.
+	imp.Endpoints = append(imp.Endpoints, delayscale.Endpoint{Flop: 99})
+	return imp
+}
+
+func TestSweepCountsViolations(t *testing.T) {
+	// Nominal delays 4, 6, 8; derated 5, 8, 11.
+	imp := fakeImpact([][2]float64{{4, 5}, {6, 8}, {8, 11}})
+	res, err := Sweep(imp, 5, 12, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPeriod := map[float64]Point{}
+	for _, p := range res.Points {
+		byPeriod[p.PeriodNs] = p
+	}
+	// At T=12: nothing violates in either corner.
+	if p := byPeriod[12]; p.NomViolations != 0 || p.ScaledViolations != 0 || p.Overkill != 0 {
+		t.Fatalf("T=12: %+v", p)
+	}
+	// At T=10: nominal fine (max 8), derated 11 fails -> 1 overkill.
+	if p := byPeriod[10]; p.NomViolations != 0 || p.ScaledViolations != 1 || p.Overkill != 1 {
+		t.Fatalf("T=10: %+v", p)
+	}
+	// At T=7: nominal {8} fails, derated {8, 11} fail -> overkill 1.
+	if p := byPeriod[7]; p.NomViolations != 1 || p.ScaledViolations != 2 || p.Overkill != 1 {
+		t.Fatalf("T=7: %+v", p)
+	}
+	// At T=5: nominal {6,8}, derated {5,8,11}... derated 5 <= 5 passes, so 2 vs 2.
+	if p := byPeriod[5]; p.NomViolations != 2 || p.ScaledViolations != 2 || p.Overkill != 0 {
+		t.Fatalf("T=5: %+v", p)
+	}
+	// Fastest overkill-free period: 5 ns would be chosen (overkill 0).
+	if res.MinPeriodNoOverkillNs != 5 {
+		t.Fatalf("safe period %v, want 5", res.MinPeriodNoOverkillNs)
+	}
+	if res.MaxSafeFreqMHz != 200 {
+		t.Fatalf("safe freq %v, want 200", res.MaxSafeFreqMHz)
+	}
+}
+
+func TestSweepMargin(t *testing.T) {
+	imp := fakeImpact([][2]float64{{9, 9}})
+	res, err := Sweep(imp, 10, 10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Limit = 10-2 = 8 < 9: violation in both corners, zero overkill.
+	p := res.Points[0]
+	if p.NomViolations != 1 || p.ScaledViolations != 1 || p.Overkill != 0 {
+		t.Fatalf("%+v", p)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	imp := fakeImpact(nil)
+	if _, err := Sweep(imp, 0, 10, 1, 0); err == nil {
+		t.Fatal("zero min accepted")
+	}
+	if _, err := Sweep(imp, 10, 5, 1, 0); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Sweep(imp, 5, 10, 0, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestSweepMonotonicity(t *testing.T) {
+	imp := fakeImpact([][2]float64{{3, 4}, {5, 7}, {7, 9}, {2, 2.5}, {9, 12}})
+	res, err := Sweep(imp, 2, 14, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking the period can only grow the violation counts.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].NomViolations < res.Points[i-1].NomViolations ||
+			res.Points[i].ScaledViolations < res.Points[i-1].ScaledViolations {
+			t.Fatalf("violations not monotone at %v", res.Points[i].PeriodNs)
+		}
+	}
+}

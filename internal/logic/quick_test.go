@@ -1,0 +1,108 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mk builds a well-formed word from two arbitrary planes.
+func mk(z, o uint64) Word { return Word{Zero: z &^ o, One: o} }
+
+func TestQuickAndCommutative(t *testing.T) {
+	f := func(az, ao, bz, bo uint64) bool {
+		a, b := mk(az, ao), mk(bz, bo)
+		return a.And(b) == b.And(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrCommutative(t *testing.T) {
+	f := func(az, ao, bz, bo uint64) bool {
+		a, b := mk(az, ao), mk(bz, bo)
+		return a.Or(b) == b.Or(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAndAssociative(t *testing.T) {
+	f := func(az, ao, bz, bo, cz, co uint64) bool {
+		a, b, c := mk(az, ao), mk(bz, bo), mk(cz, co)
+		return a.And(b).And(c) == a.And(b.And(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickXorCommutativeAndWellFormed(t *testing.T) {
+	f := func(az, ao, bz, bo uint64) bool {
+		a, b := mk(az, ao), mk(bz, bo)
+		x := a.Xor(b)
+		return x == b.Xor(a) && x.WellFormed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIdentityAndDominance(t *testing.T) {
+	f := func(az, ao uint64) bool {
+		a := mk(az, ao)
+		return a.And(AllOne) == a && // 1 is the AND identity
+			a.Or(AllZero) == a && // 0 is the OR identity
+			a.And(AllZero) == AllZero && // 0 dominates AND
+			a.Or(AllOne) == AllOne // 1 dominates OR
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbsorption(t *testing.T) {
+	// Absorption holds for defined slots; X slots may stay X on both
+	// sides, so compare only where the result is defined on both sides.
+	f := func(az, ao, bz, bo uint64) bool {
+		a, b := mk(az, ao), mk(bz, bo)
+		lhs := a.Or(a.And(b))
+		// Where a is defined, a | (a & b) must equal a.
+		def := a.Known() & lhs.Known()
+		return lhs.One&def == a.One&def && lhs.Zero&def == a.Zero&def
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelectPartition(t *testing.T) {
+	f := func(az, ao, bz, bo, m uint64) bool {
+		a, b := mk(az, ao), mk(bz, bo)
+		s := Select(m, a, b)
+		for i := uint(0); i < 64; i++ {
+			want := a.Get(i)
+			if m&(1<<i) != 0 {
+				want = b.Get(i)
+			}
+			if s.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDiffSymmetricAndIrreflexive(t *testing.T) {
+	f := func(az, ao, bz, bo uint64) bool {
+		a, b := mk(az, ao), mk(bz, bo)
+		return a.Diff(b) == b.Diff(a) && a.Diff(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package netlist
+
+import "fmt"
+
+// Check validates the structural integrity of the design:
+//   - every net is driven by exactly one instance or primary input,
+//     or is explicitly undriven (an error);
+//   - instance pin counts match their cell kind;
+//   - net driver/load cross-references are consistent;
+//   - every flop has a clock domain assigned;
+//   - the combinational logic is acyclic.
+//
+// It returns the first problem found, or nil.
+func (d *Design) Check() error {
+	if d.Lib == nil {
+		return fmt.Errorf("netlist: design %q has no library", d.Name)
+	}
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		if n.Driver == NoInst && n.PI < 0 {
+			return fmt.Errorf("netlist: net %q undriven", n.Name)
+		}
+		if n.Driver != NoInst && n.PI >= 0 {
+			return fmt.Errorf("netlist: net %q doubly driven (instance and PI)", n.Name)
+		}
+		if n.Driver != NoInst {
+			if int(n.Driver) >= len(d.Insts) {
+				return fmt.Errorf("netlist: net %q driver out of range", n.Name)
+			}
+			if d.Insts[n.Driver].Out != n.ID {
+				return fmt.Errorf("netlist: net %q driver cross-reference broken", n.Name)
+			}
+		}
+		for _, p := range n.Loads {
+			if int(p.Inst) >= len(d.Insts) {
+				return fmt.Errorf("netlist: net %q load instance out of range", n.Name)
+			}
+			inst := &d.Insts[p.Inst]
+			if p.Pin < 0 || p.Pin >= len(inst.In) || inst.In[p.Pin] != n.ID {
+				return fmt.Errorf("netlist: net %q load cross-reference to %q pin %d broken",
+					n.Name, inst.Name, p.Pin)
+			}
+		}
+	}
+	for i := range d.Insts {
+		inst := &d.Insts[i]
+		if len(inst.In) != inst.Kind.NumInputs() {
+			return fmt.Errorf("netlist: instance %q (%v) has %d inputs, wants %d",
+				inst.Name, inst.Kind, len(inst.In), inst.Kind.NumInputs())
+		}
+		if inst.Out == NoNet || int(inst.Out) >= len(d.Nets) {
+			return fmt.Errorf("netlist: instance %q output net invalid", inst.Name)
+		}
+		if inst.IsFlop() {
+			if inst.Domain < 0 || inst.Domain >= len(d.Domains) {
+				return fmt.Errorf("netlist: flop %q has no clock domain", inst.Name)
+			}
+		}
+		if inst.Block != NoBlock && (inst.Block < 0 || inst.Block >= d.NumBlocks) {
+			return fmt.Errorf("netlist: instance %q block %d out of range", inst.Name, inst.Block)
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats summarizes design composition.
+type Stats struct {
+	Insts, Gates, Flops, Nets, PIs, POs int
+	FlopsPerBlock                       []int
+	GatesPerBlock                       []int
+	FlopsPerDomain                      []int
+	NegEdgeFlops                        int
+	MaxLevel                            int32
+}
+
+// ComputeStats gathers design statistics used by the Table 1 / Table 2
+// experiments and the cmd tools.
+func (d *Design) ComputeStats() (Stats, error) {
+	s := Stats{
+		Insts: len(d.Insts), Gates: d.NumGates(), Flops: len(d.Flops),
+		Nets: len(d.Nets), PIs: len(d.PIs), POs: len(d.POs),
+		FlopsPerBlock:  make([]int, d.NumBlocks),
+		GatesPerBlock:  make([]int, d.NumBlocks),
+		FlopsPerDomain: make([]int, len(d.Domains)),
+	}
+	for i := range d.Insts {
+		inst := &d.Insts[i]
+		if inst.Block == NoBlock {
+			continue
+		}
+		if inst.IsFlop() {
+			s.FlopsPerBlock[inst.Block]++
+		} else {
+			s.GatesPerBlock[inst.Block]++
+		}
+	}
+	for _, f := range d.Flops {
+		inst := &d.Insts[f]
+		if inst.Domain >= 0 && inst.Domain < len(s.FlopsPerDomain) {
+			s.FlopsPerDomain[inst.Domain]++
+		}
+		if inst.NegEdge {
+			s.NegEdgeFlops++
+		}
+	}
+	ml, err := d.MaxLevel()
+	if err != nil {
+		return s, err
+	}
+	s.MaxLevel = ml
+	return s, nil
+}

@@ -1,0 +1,49 @@
+package netlist
+
+import (
+	"fmt"
+
+	"scap/internal/cell"
+)
+
+// SetInput rewires input pin p of instance id from its current net to net n,
+// keeping the net load cross-references consistent.
+func (d *Design) SetInput(id InstID, p int, n NetID) {
+	inst := &d.Insts[id]
+	if p < 0 || p >= len(inst.In) {
+		panic(fmt.Sprintf("netlist: %s has no pin %d", inst.Name, p))
+	}
+	old := inst.In[p]
+	if old == n {
+		return
+	}
+	if old != NoNet {
+		loads := d.Nets[old].Loads
+		for i, pin := range loads {
+			if pin.Inst == id && pin.Pin == p {
+				d.Nets[old].Loads = append(loads[:i], loads[i+1:]...)
+				break
+			}
+		}
+	}
+	inst.In[p] = n
+	if n != NoNet {
+		d.Nets[n].Loads = append(d.Nets[n].Loads, Pin{Inst: id, Pin: p})
+	}
+	d.invalidate()
+}
+
+// ConvertToScan converts the plain DFF f into an SDFF whose scan input is
+// si and scan enable is se. The functional D connection is preserved as
+// pin 0. Panics if f is not a DFF.
+func (d *Design) ConvertToScan(f InstID, si, se NetID) {
+	inst := &d.Insts[f]
+	if inst.Kind != cell.DFF {
+		panic(fmt.Sprintf("netlist: ConvertToScan on %s (%v)", inst.Name, inst.Kind))
+	}
+	inst.Kind = cell.SDFF
+	inst.In = append(inst.In, NoNet, NoNet) // SI, SE placeholders
+	d.SetInput(f, 1, si)
+	d.SetInput(f, 2, se)
+	d.invalidate()
+}

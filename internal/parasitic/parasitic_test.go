@@ -1,0 +1,181 @@
+package parasitic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scap/internal/netlist"
+	"scap/internal/place"
+	"scap/internal/soc"
+)
+
+func placedSOC(t *testing.T) (*netlist.Design, *place.Floorplan) {
+	t.Helper()
+	d, _, err := soc.Generate(soc.DefaultConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := place.Place(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fp
+}
+
+func TestExtractAnnotatesEveryDrivenNet(t *testing.T) {
+	d, fp := placedSOC(t)
+	sum, err := Extract(d, fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Nets != d.NumNets() {
+		t.Fatalf("annotated %d of %d nets", sum.Nets, d.NumNets())
+	}
+	if sum.TotalWireCap <= 0 || sum.MaxHPWL <= 0 || sum.MeanHPWL <= 0 {
+		t.Fatalf("degenerate summary: %+v", sum)
+	}
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		if len(n.Loads) > 0 && n.WireCap < 0 {
+			t.Fatalf("net %s has negative wire cap", n.Name)
+		}
+	}
+}
+
+func TestExtractScalesWithDistance(t *testing.T) {
+	// Two 2-pin nets, one short and one long: the long one must get more
+	// cap and delay.
+	dd, fp := placedSOC(t)
+	if _, err := Extract(dd, fp, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	// Find two instance-driven 2-pin nets with very different spans.
+	var short, long *netlist.Net
+	for i := range dd.Nets {
+		n := &dd.Nets[i]
+		if n.Driver == netlist.NoInst || len(n.Loads) != 1 {
+			continue
+		}
+		drv, ld := dd.Inst(n.Driver), dd.Inst(n.Loads[0].Inst)
+		dist := place.Dist(drv, ld)
+		if dist < 50 && short == nil {
+			short = n
+		}
+		if dist > 300 && long == nil {
+			long = n
+		}
+	}
+	if short == nil || long == nil {
+		t.Skip("no suitable net pair at this scale")
+	}
+	if long.WireCap <= short.WireCap || long.WireDelay <= short.WireDelay {
+		t.Fatalf("long net (C=%v D=%v) not larger than short (C=%v D=%v)",
+			long.WireCap, long.WireDelay, short.WireCap, short.WireDelay)
+	}
+}
+
+func TestPadXYOnPeriphery(t *testing.T) {
+	fp := place.NewFloorplan()
+	n := 40
+	for i := 0; i < n; i++ {
+		x, y := PadXY(i, n, fp)
+		onEdge := x == 0 || y == 0 || x == fp.W || y == fp.H
+		if !onEdge {
+			t.Fatalf("pad %d at (%v,%v) not on periphery", i, x, y)
+		}
+	}
+	// Pads must be spread over all four edges.
+	edges := map[string]bool{}
+	for i := 0; i < n; i++ {
+		x, y := PadXY(i, n, fp)
+		switch {
+		case y == 0:
+			edges["bottom"] = true
+		case x == fp.W:
+			edges["right"] = true
+		case y == fp.H:
+			edges["top"] = true
+		case x == 0:
+			edges["left"] = true
+		}
+	}
+	if len(edges) != 4 {
+		t.Fatalf("pads only on edges %v", edges)
+	}
+	if x, y := PadXY(0, 0, fp); x != 0 || y != 0 {
+		t.Fatal("PadXY with n=0 should return origin")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.CapPerUnit = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+	if _, err := Extract(nil, nil, p); err == nil {
+		t.Fatal("Extract accepted bad params")
+	}
+}
+
+func TestSPEFRoundTrip(t *testing.T) {
+	d, fp := placedSOC(t)
+	if _, err := Extract(d, fp, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]struct{ c, dl float64 }, len(d.Nets))
+	for i := range d.Nets {
+		want[i].c, want[i].dl = d.Nets[i].WireCap, d.Nets[i].WireDelay
+		d.Nets[i].WireCap, d.Nets[i].WireDelay = 0, 0
+	}
+	if err := ReadSPEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Nets {
+		if !approx(d.Nets[i].WireCap, want[i].c) || !approx(d.Nets[i].WireDelay, want[i].dl) {
+			t.Fatalf("net %d: got (%v,%v) want (%v,%v)", i,
+				d.Nets[i].WireCap, d.Nets[i].WireDelay, want[i].c, want[i].dl)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	return d <= 1e-4*(1+scale)
+}
+
+func TestReadSPEFErrors(t *testing.T) {
+	d, _ := placedSOC(t)
+	if err := ReadSPEF(strings.NewReader("*D_NET nosuchnet 1 2\n"), d); err == nil {
+		t.Fatal("unknown net accepted")
+	}
+	if err := ReadSPEF(strings.NewReader("*D_NET short\n"), d); err == nil {
+		t.Fatal("short record accepted")
+	}
+	name := d.Nets[0].Name
+	if err := ReadSPEF(strings.NewReader("*D_NET "+name+" xx 2\n"), d); err == nil {
+		t.Fatal("bad cap accepted")
+	}
+	if err := ReadSPEF(strings.NewReader("*D_NET "+name+" 1 yy\n"), d); err == nil {
+		t.Fatal("bad delay accepted")
+	}
+	// Comments and blank lines are fine.
+	if err := ReadSPEF(strings.NewReader("\n// nothing\n*END\n"), d); err != nil {
+		t.Fatal(err)
+	}
+}

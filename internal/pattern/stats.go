@@ -1,0 +1,84 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"scap/internal/atpg"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+)
+
+// SetStats summarizes a pattern set's scan-state composition: the per-block
+// density of 1-bits (under fill-0 a block's density is its care-bit
+// activity) and the overall fill balance. The paper's Figure 6 analysis is,
+// at heart, a statement about these densities.
+type SetStats struct {
+	Patterns int
+	// OnesFrac[b] is the mean fraction of 1-valued scan bits in block b;
+	// the last entry is chip-wide.
+	OnesFrac []float64
+	// XFrac is the fraction of don't-care (X) scan bits (non-zero only for
+	// unexpanded cubes).
+	XFrac float64
+	// MeanSecondaries is the average compaction depth per pattern.
+	MeanSecondaries float64
+}
+
+// Stats computes set statistics against the design the patterns target.
+func Stats(d *netlist.Design, pats []atpg.Pattern) (*SetStats, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("pattern: empty set")
+	}
+	st := &SetStats{Patterns: len(pats), OnesFrac: make([]float64, d.NumBlocks+1)}
+	counts := make([]int, d.NumBlocks+1)
+	ones := make([]int, d.NumBlocks+1)
+	xs, total, secs := 0, 0, 0
+	for i := range pats {
+		p := &pats[i]
+		if len(p.V1) != len(d.Flops) {
+			return nil, fmt.Errorf("pattern %d: %d state bits for %d flops", i, len(p.V1), len(d.Flops))
+		}
+		secs += len(p.Secondaries)
+		for j, f := range d.Flops {
+			b := d.Inst(f).Block
+			total++
+			if b >= 0 {
+				counts[b]++
+			}
+			counts[d.NumBlocks]++
+			switch p.V1[j] {
+			case logic.One:
+				if b >= 0 {
+					ones[b]++
+				}
+				ones[d.NumBlocks]++
+			case logic.X:
+				xs++
+			}
+		}
+	}
+	for b := range st.OnesFrac {
+		if counts[b] > 0 {
+			st.OnesFrac[b] = float64(ones[b]) / float64(counts[b])
+		}
+	}
+	st.XFrac = float64(xs) / float64(total)
+	st.MeanSecondaries = float64(secs) / float64(len(pats))
+	return st, nil
+}
+
+// String renders the statistics in one line per block.
+func (st *SetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d patterns, X %.1f%%, mean secondaries %.1f; ones per block:",
+		st.Patterns, 100*st.XFrac, st.MeanSecondaries)
+	for i, f := range st.OnesFrac {
+		if i == len(st.OnesFrac)-1 {
+			fmt.Fprintf(&b, " chip=%.1f%%", 100*f)
+		} else {
+			fmt.Fprintf(&b, " B%d=%.1f%%", i+1, 100*f)
+		}
+	}
+	return b.String()
+}

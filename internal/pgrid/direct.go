@@ -1,0 +1,110 @@
+package pgrid
+
+import "fmt"
+
+// SolveDirect solves the same mesh equation G·v = I by dense Gaussian
+// elimination with partial pivoting. It is O(n³) in the node count and
+// exists to cross-validate the SOR solver on small meshes (tests) and to
+// solve stiff cases where SOR converges slowly. Inputs and outputs match
+// Solve.
+func (g *Grid) SolveDirect(injMA []float64) (*Solution, error) {
+	n := g.P.N
+	nn := n * n
+	if len(injMA) != nn {
+		return nil, fmt.Errorf("pgrid: injection length %d, want %d", len(injMA), nn)
+	}
+	if nn > 4096 {
+		return nil, fmt.Errorf("pgrid: SolveDirect limited to 4096 nodes, have %d", nn)
+	}
+	gseg := 1 / g.P.SegRes
+
+	// Assemble the dense conductance matrix (row-major) and RHS.
+	a := make([]float64, nn*nn)
+	b := make([]float64, nn)
+	at := func(r, c int) *float64 { return &a[r*nn+c] }
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			i := iy*n + ix
+			diag := g.padG[i]
+			couple := func(j int) {
+				diag += gseg
+				*at(i, j) -= gseg
+			}
+			if ix > 0 {
+				couple(i - 1)
+			}
+			if ix < n-1 {
+				couple(i + 1)
+			}
+			if iy > 0 {
+				couple(i - n)
+			}
+			if iy < n-1 {
+				couple(i + n)
+			}
+			*at(i, i) = diag
+			b[i] = injMA[i]
+		}
+	}
+
+	// Gaussian elimination with partial pivoting.
+	perm := make([]int, nn)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < nn; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < nn; r++ {
+			if abs(*at(r, col)) > abs(*at(p, col)) {
+				p = r
+			}
+		}
+		if abs(*at(p, col)) < 1e-15 {
+			return nil, fmt.Errorf("pgrid: singular mesh matrix at column %d (no pad path?)", col)
+		}
+		if p != col {
+			for c := 0; c < nn; c++ {
+				a[col*nn+c], a[p*nn+c] = a[p*nn+c], a[col*nn+c]
+			}
+			b[col], b[p] = b[p], b[col]
+		}
+		piv := *at(col, col)
+		for r := col + 1; r < nn; r++ {
+			f := *at(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			*at(r, col) = 0
+			for c := col + 1; c < nn; c++ {
+				*at(r, c) -= f * *at(col, c)
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	v := make([]float64, nn)
+	for r := nn - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < nn; c++ {
+			sum -= *at(r, c) * v[c]
+		}
+		v[r] = sum / *at(r, r)
+	}
+
+	sol := &Solution{N: n, Drop: v, Iterations: 1}
+	for i := range v {
+		v[i] *= 1e-3 // mV -> V
+		if v[i] > sol.Worst {
+			sol.Worst = v[i]
+		}
+	}
+	return sol, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,258 @@
+// Package pgrid models the chip's power-delivery network and computes
+// IR-drop: a uniform resistive mesh per rail (VDD and VSS have the same
+// topology), fed by pads distributed around the die periphery (the paper's
+// design has 37 VDD and 37 VSS pads), with cell currents injected at their
+// placed locations. The mesh equation G·v = I is solved with successive
+// over-relaxation.
+//
+// Both analyses of the paper run on top of this solver:
+//
+//   - statistical (vector-less): per-instance currents from a toggle
+//     probability over a chosen window (full or half cycle — Table 3);
+//   - dynamic (per-pattern): per-instance currents from the switching
+//     energy a pattern dissipates within its switching time frame window
+//     (Figure 3, Table 4).
+//
+// Because the center of the die is farthest from the pads, the central
+// block B5 naturally sees the worst drop — the paper's key observation.
+package pgrid
+
+import (
+	"fmt"
+	"math"
+
+	"scap/internal/netlist"
+	"scap/internal/place"
+)
+
+// Params configures the mesh and solver.
+type Params struct {
+	N       int     // mesh resolution: N×N nodes over the die
+	SegRes  float64 // Ω of each mesh segment between adjacent nodes
+	NumPads int     // pads per rail around the periphery (paper: 37)
+	PadRes  float64 // Ω from a pad to its mesh node
+	// PadOffset shifts the pads by this fraction of the pad pitch; the
+	// VSS network uses 0.5 so its pads interleave with the VDD pads.
+	PadOffset float64
+	MaxIter   int     // SOR iteration cap
+	Tol       float64 // convergence threshold on max node update, volts
+	Omega     float64 // SOR relaxation factor (1..2)
+}
+
+// DefaultParams returns a mesh calibrated to 180 nm package/grid
+// magnitudes at the repo's default design scale.
+func DefaultParams() Params {
+	return Params{
+		N: 40, SegRes: 0.55, NumPads: 37, PadRes: 0.4,
+		MaxIter: 20000, Tol: 1e-7, Omega: 1.85,
+	}
+}
+
+// Validate reports parameter problems.
+func (p Params) Validate() error {
+	if p.N < 4 {
+		return fmt.Errorf("pgrid: N must be >= 4")
+	}
+	if p.SegRes <= 0 || p.PadRes <= 0 {
+		return fmt.Errorf("pgrid: resistances must be positive")
+	}
+	if p.NumPads < 1 {
+		return fmt.Errorf("pgrid: need at least one pad")
+	}
+	if p.Omega <= 0 || p.Omega >= 2 {
+		return fmt.Errorf("pgrid: Omega %v outside (0, 2)", p.Omega)
+	}
+	if p.MaxIter < 1 || p.Tol <= 0 {
+		return fmt.Errorf("pgrid: bad solver controls")
+	}
+	return nil
+}
+
+// Grid is a built power mesh for one die.
+type Grid struct {
+	P  Params
+	fp *place.Floorplan
+	// padG[i] is the pad conductance attached to node i (0 if none).
+	padG []float64
+}
+
+// New builds the mesh over the floorplan's die.
+func New(fp *place.Floorplan, p Params) (*Grid, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Grid{P: p, fp: fp, padG: make([]float64, p.N*p.N)}
+	for i := 0; i < p.NumPads; i++ {
+		x, y := padXY(float64(i)+p.PadOffset, p.NumPads, fp)
+		g.padG[g.NodeOf(x, y)] += 1 / p.PadRes
+	}
+	return g, nil
+}
+
+// padXY mirrors parasitic.PadXY (duplicated to keep the package free of a
+// dependency cycle): pads uniformly spaced around the periphery.
+func padXY(i float64, n int, fp *place.Floorplan) (float64, float64) {
+	per := 2 * (fp.W + fp.H)
+	pos := math.Mod(per*i/float64(n), per)
+	switch {
+	case pos < fp.W:
+		return pos, 0
+	case pos < fp.W+fp.H:
+		return fp.W, pos - fp.W
+	case pos < 2*fp.W+fp.H:
+		return 2*fp.W + fp.H - pos, fp.H
+	default:
+		return 0, per - pos
+	}
+}
+
+// NodeOf returns the mesh node index closest to die location (x, y).
+func (g *Grid) NodeOf(x, y float64) int {
+	n := g.P.N
+	ix := int(x / g.fp.W * float64(n))
+	iy := int(y / g.fp.H * float64(n))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= n {
+		ix = n - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= n {
+		iy = n - 1
+	}
+	return iy*n + ix
+}
+
+// NodeXY returns the die location of a node's center.
+func (g *Grid) NodeXY(node int) (float64, float64) {
+	n := g.P.N
+	ix, iy := node%n, node/n
+	return (float64(ix) + 0.5) * g.fp.W / float64(n),
+		(float64(iy) + 0.5) * g.fp.H / float64(n)
+}
+
+// InjectInstCurrents maps per-instance currents (mA, indexed by InstID)
+// onto mesh nodes, returning the per-node injection vector.
+func (g *Grid) InjectInstCurrents(d *netlist.Design, cur []float64) []float64 {
+	inj := make([]float64, g.P.N*g.P.N)
+	for i := range d.Insts {
+		if cur[i] == 0 {
+			continue
+		}
+		inj[g.NodeOf(d.Insts[i].X, d.Insts[i].Y)] += cur[i]
+	}
+	return inj
+}
+
+// Solution is a solved rail: per-node voltage drop from the nominal rail
+// voltage (positive volts for both VDD sag and VSS bounce).
+type Solution struct {
+	N          int
+	Drop       []float64 // volts per node
+	Iterations int
+	Worst      float64 // max node drop, volts
+}
+
+// Solve computes node voltage drops for a per-node current injection (mA).
+// The mesh conductances are in 1/Ω, so the raw solution is in mV and is
+// converted to volts.
+func (g *Grid) Solve(injMA []float64) (*Solution, error) {
+	n := g.P.N
+	if len(injMA) != n*n {
+		return nil, fmt.Errorf("pgrid: injection length %d, want %d", len(injMA), n*n)
+	}
+	gseg := 1 / g.P.SegRes
+	v := make([]float64, n*n)
+	sol := &Solution{N: n, Drop: v}
+
+	for iter := 1; iter <= g.P.MaxIter; iter++ {
+		maxDelta := 0.0
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				i := iy*n + ix
+				sumG := g.padG[i]
+				sumGV := 0.0
+				if ix > 0 {
+					sumG += gseg
+					sumGV += gseg * v[i-1]
+				}
+				if ix < n-1 {
+					sumG += gseg
+					sumGV += gseg * v[i+1]
+				}
+				if iy > 0 {
+					sumG += gseg
+					sumGV += gseg * v[i-n]
+				}
+				if iy < n-1 {
+					sumG += gseg
+					sumGV += gseg * v[i+n]
+				}
+				nv := (sumGV + injMA[i]) / sumG
+				nv = v[i] + g.P.Omega*(nv-v[i])
+				if d := math.Abs(nv - v[i]); d > maxDelta {
+					maxDelta = d
+				}
+				v[i] = nv
+			}
+		}
+		sol.Iterations = iter
+		if maxDelta*1e-3 < g.P.Tol { // mV -> V
+			for i := range v {
+				v[i] *= 1e-3 // mV -> V
+				if v[i] > sol.Worst {
+					sol.Worst = v[i]
+				}
+			}
+			return sol, nil
+		}
+	}
+	return nil, fmt.Errorf("pgrid: SOR did not converge in %d iterations", g.P.MaxIter)
+}
+
+// At samples the solved drop at a die location (nearest node).
+func (s *Solution) At(g *Grid, x, y float64) float64 {
+	return s.Drop[g.NodeOf(x, y)]
+}
+
+// WorstPerBlock returns the maximum node drop inside each block rectangle,
+// plus a chip-level entry (index NumBlocks). Nodes outside every block
+// count only toward the chip entry.
+func (s *Solution) WorstPerBlock(g *Grid, numBlocks int) []float64 {
+	out := make([]float64, numBlocks+1)
+	for node, d := range s.Drop {
+		x, y := g.NodeXY(node)
+		if b := g.fp.BlockAt(x, y); b >= 0 && b < numBlocks && d > out[b] {
+			out[b] = d
+		}
+		if d > out[numBlocks] {
+			out[numBlocks] = d
+		}
+	}
+	return out
+}
+
+// MeanPerBlock returns the average node drop inside each block rectangle,
+// plus a chip-level entry.
+func (s *Solution) MeanPerBlock(g *Grid, numBlocks int) []float64 {
+	sum := make([]float64, numBlocks+1)
+	cnt := make([]int, numBlocks+1)
+	for node, d := range s.Drop {
+		x, y := g.NodeXY(node)
+		if b := g.fp.BlockAt(x, y); b >= 0 && b < numBlocks {
+			sum[b] += d
+			cnt[b]++
+		}
+		sum[numBlocks] += d
+		cnt[numBlocks]++
+	}
+	for i := range sum {
+		if cnt[i] > 0 {
+			sum[i] /= float64(cnt[i])
+		}
+	}
+	return sum
+}

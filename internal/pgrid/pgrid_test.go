@@ -1,0 +1,243 @@
+package pgrid
+
+import (
+	"math"
+	"testing"
+
+	"scap/internal/parasitic"
+	"scap/internal/place"
+	"scap/internal/power"
+	"scap/internal/soc"
+)
+
+func grid(t *testing.T) (*Grid, *place.Floorplan) {
+	t.Helper()
+	fp := place.NewFloorplan()
+	g, err := New(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, fp
+}
+
+func TestZeroCurrentZeroDrop(t *testing.T) {
+	g, _ := grid(t)
+	sol, err := g.Solve(make([]float64, g.P.N*g.P.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sol.Drop {
+		if d != 0 {
+			t.Fatal("drop without current")
+		}
+	}
+	if sol.Worst != 0 {
+		t.Fatal("worst should be 0")
+	}
+}
+
+func TestUniformCurrentCenterWorst(t *testing.T) {
+	g, fp := grid(t)
+	inj := make([]float64, g.P.N*g.P.N)
+	for i := range inj {
+		inj[i] = 0.02
+	}
+	sol, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := sol.At(g, fp.W/2, fp.H/2)
+	corner := sol.At(g, fp.W*0.02, fp.H*0.02)
+	if center <= corner {
+		t.Fatalf("center drop %v not above corner %v", center, corner)
+	}
+	if sol.Worst <= 0 {
+		t.Fatal("no drop under uniform load")
+	}
+	for _, d := range sol.Drop {
+		if d < 0 {
+			t.Fatal("negative drop")
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	g, _ := grid(t)
+	inj := make([]float64, g.P.N*g.P.N)
+	inj[g.P.N*g.P.N/2+g.P.N/2] = 50
+	s1, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inj {
+		inj[i] *= 2
+	}
+	s2, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOR solves to a tolerance, so check linearity to 1% relative on the
+	// meaningful drops.
+	for i := range s1.Drop {
+		if s1.Drop[i] < 1e-5 {
+			continue
+		}
+		if math.Abs(s2.Drop[i]-2*s1.Drop[i]) > 0.01*2*s1.Drop[i] {
+			t.Fatalf("node %d: doubling current gave %v vs %v", i, s2.Drop[i], 2*s1.Drop[i])
+		}
+	}
+}
+
+func TestPadsSinkCurrent(t *testing.T) {
+	// A node adjacent to a pad must see much less drop than the die center
+	// under the same local injection.
+	g, fp := grid(t)
+	injCenter := make([]float64, g.P.N*g.P.N)
+	injCenter[g.NodeOf(fp.W/2, fp.H/2)] = 1
+	sc, err := g.Solve(injCenter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injEdge := make([]float64, g.P.N*g.P.N)
+	injEdge[g.NodeOf(0, 0)] = 1
+	se, err := g.Solve(injEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Worst <= se.Worst {
+		t.Fatalf("center injection (%v) should hurt more than corner (%v)", sc.Worst, se.Worst)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g, _ := grid(t)
+	if _, err := g.Solve(make([]float64, 3)); err == nil {
+		t.Fatal("wrong injection length accepted")
+	}
+	bad := DefaultParams()
+	bad.N = 1
+	if _, err := New(place.NewFloorplan(), bad); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	bad = DefaultParams()
+	bad.Omega = 2.5
+	if _, err := New(place.NewFloorplan(), bad); err == nil {
+		t.Fatal("bad omega accepted")
+	}
+	bad = DefaultParams()
+	bad.MaxIter = 1
+	g2, err := New(place.NewFloorplan(), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := make([]float64, g2.P.N*g2.P.N)
+	inj[0] = 1
+	if _, err := g2.Solve(inj); err == nil {
+		t.Fatal("non-convergence not reported")
+	}
+}
+
+func TestStatisticalSOCB5Hottest(t *testing.T) {
+	d, _, err := soc.Generate(soc.DefaultConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := place.Place(d, 1)
+	if _, err := parasitic.Extract(d, fp, parasitic.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := power.StatCurrents(d, 0.3, 10)
+	inj := g.InjectInstCurrents(d, cur)
+	sol, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := sol.WorstPerBlock(g, d.NumBlocks)
+	for b := 0; b < d.NumBlocks; b++ {
+		if b != soc.B5 && worst[b] >= worst[soc.B5] {
+			t.Fatalf("B%d drop %v >= B5 drop %v", b+1, worst[b], worst[soc.B5])
+		}
+	}
+	if worst[d.NumBlocks] < worst[soc.B5] {
+		t.Fatal("chip worst below B5 worst")
+	}
+	mean := sol.MeanPerBlock(g, d.NumBlocks)
+	for b := range mean {
+		if mean[b] > worst[b] {
+			t.Fatalf("block %d mean %v above worst %v", b, mean[b], worst[b])
+		}
+	}
+	t.Logf("worst drops per block: %v (chip %v)", worst[:d.NumBlocks], worst[d.NumBlocks])
+}
+
+func TestNodeMapping(t *testing.T) {
+	g, fp := grid(t)
+	// NodeOf and NodeXY must roughly invert each other.
+	for _, node := range []int{0, 37, g.P.N*g.P.N - 1, g.P.N * 7} {
+		x, y := g.NodeXY(node)
+		if got := g.NodeOf(x, y); got != node {
+			t.Fatalf("node %d -> (%v,%v) -> %d", node, x, y, got)
+		}
+	}
+	// Out-of-range coordinates clamp.
+	if g.NodeOf(-5, -5) != 0 {
+		t.Fatal("negative coords should clamp to node 0")
+	}
+	if g.NodeOf(fp.W+10, fp.H+10) != g.P.N*g.P.N-1 {
+		t.Fatal("oversized coords should clamp to last node")
+	}
+}
+
+// TestDirectMatchesSOR cross-validates the two solvers: the iterative SOR
+// solution must agree with dense Gaussian elimination to solver tolerance.
+func TestDirectMatchesSOR(t *testing.T) {
+	fp := place.NewFloorplan()
+	p := DefaultParams()
+	p.N = 12
+	p.Tol = 1e-9
+	g, err := New(fp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := make([]float64, p.N*p.N)
+	inj[g.NodeOf(fp.W/2, fp.H/2)] = 40
+	inj[g.NodeOf(fp.W/4, fp.H/3)] = 15
+	inj[g.NodeOf(fp.W*0.8, fp.H*0.7)] = 25
+	sor, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := g.SolveDirect(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sor.Drop {
+		diff := math.Abs(sor.Drop[i] - direct.Drop[i])
+		if diff > 1e-6*(1+direct.Drop[i]) {
+			t.Fatalf("node %d: SOR %v vs direct %v", i, sor.Drop[i], direct.Drop[i])
+		}
+	}
+	if math.Abs(sor.Worst-direct.Worst) > 1e-6*(1+direct.Worst) {
+		t.Fatalf("worst: SOR %v vs direct %v", sor.Worst, direct.Worst)
+	}
+}
+
+func TestDirectValidation(t *testing.T) {
+	g, _ := grid(t) // N=40 -> 1600 nodes, allowed
+	if _, err := g.SolveDirect(make([]float64, 3)); err == nil {
+		t.Fatal("bad length accepted")
+	}
+	big := DefaultParams()
+	big.N = 70
+	gb, err := New(place.NewFloorplan(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gb.SolveDirect(make([]float64, 70*70)); err == nil {
+		t.Fatal("oversized direct solve accepted")
+	}
+}

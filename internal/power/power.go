@@ -1,0 +1,218 @@
+// Package power implements the paper's power models:
+//
+//   - CAP, the cycle average power: CAP_j = Σ C_i · VDD² / T — switching
+//     energy of pattern j averaged over the full tester cycle T;
+//   - SCAP, the switching cycle average power (the paper's contribution):
+//     SCAP_j = Σ C_i · VDD² / STW_j — the same energy averaged over the
+//     switching time frame window, the span from the launch clock edge to
+//     the last transition (≈ the longest sensitized path delay);
+//   - the vector-less statistical model used for the per-block functional
+//     power/IR-drop thresholds of Table 3.
+//
+// The Meter streams toggles straight from the timing simulator (the role
+// of the paper's VCS PLI), so no VCD file is materialized. Rising
+// transitions charge from the VDD rails, falling ones discharge into VSS;
+// the two are accounted separately, matching the paper's per-network
+// columns.
+//
+// Units: capacitance fF, voltage V, time ns, energy fJ, power mW
+// (1 fJ/ns = 1 µW = 1e-3 mW), current mA.
+package power
+
+import (
+	"scap/internal/netlist"
+)
+
+// Rail selects the VDD or VSS accounting.
+type Rail uint8
+
+// Rails.
+const (
+	VDD Rail = iota
+	VSS
+)
+
+// String names the rail.
+func (r Rail) String() string {
+	if r == VDD {
+		return "VDD"
+	}
+	return "VSS"
+}
+
+// BlockPower is the per-block switching profile of one pattern.
+type BlockPower struct {
+	Block   int // block index; the last entry is the whole chip
+	Toggles int
+	// EnergyVDD/EnergyVSS are the switched energies (fJ) drawn from VDD
+	// (rising edges) and dumped into VSS (falling edges).
+	EnergyVDD, EnergyVSS float64
+	// First and Last are the block's first/last transition times (ns after
+	// the launch edge); STW = Last (the paper measures the window from the
+	// launch edge, since the longest affected path defines it).
+	First, Last float64
+	STW         float64
+	// CAPVdd/SCAPVdd (and VSS) are the average powers in mW.
+	CAPVdd, CAPVss   float64
+	SCAPVdd, SCAPVss float64
+}
+
+// CAP returns the rail's cycle average power in mW.
+func (b *BlockPower) CAP(r Rail) float64 {
+	if r == VDD {
+		return b.CAPVdd
+	}
+	return b.CAPVss
+}
+
+// SCAP returns the rail's switching cycle average power in mW.
+func (b *BlockPower) SCAP(r Rail) float64 {
+	if r == VDD {
+		return b.SCAPVdd
+	}
+	return b.SCAPVss
+}
+
+// Profile is the complete power report of one pattern.
+type Profile struct {
+	Period float64 // tester cycle, ns
+	// Blocks has one entry per floorplan block followed by one chip-level
+	// entry (index NumBlocks).
+	Blocks []BlockPower
+	// InstEnergy is the per-instance switched energy in fJ (both rails
+	// combined), consumed by the delay-scaling analysis; InstEnergyVDD and
+	// InstEnergyVSS split it by rail (rising vs falling edges) for the
+	// per-rail dynamic IR-drop analysis.
+	InstEnergy    []float64
+	InstEnergyVDD []float64
+	InstEnergyVSS []float64
+}
+
+// Chip returns the chip-level totals.
+func (p *Profile) Chip() *BlockPower { return &p.Blocks[len(p.Blocks)-1] }
+
+// Block returns block b's profile.
+func (p *Profile) Block(b int) *BlockPower { return &p.Blocks[b] }
+
+// Meter accumulates toggles from a timing simulation into a Profile.
+// It implements the paper's PLI-based SCAP calculator.
+type Meter struct {
+	d     *netlist.Design
+	vdd2  float64
+	capOf []float64 // per-instance switched capacitance, fF
+
+	instEnergy    []float64
+	instEnergyVDD []float64
+	instEnergyVSS []float64
+	blocks        []BlockPower
+
+	// waveform binning (see waveform.go); disabled when binNs <= 0.
+	binNs float64
+	bins  []float64
+}
+
+// NewMeter builds a meter for a design whose parasitics are extracted
+// (LoadCap must be meaningful).
+func NewMeter(d *netlist.Design) *Meter {
+	m := &Meter{
+		d:     d,
+		vdd2:  d.Lib.VDD * d.Lib.VDD,
+		capOf: make([]float64, d.NumInsts()),
+	}
+	for i := range d.Insts {
+		m.capOf[i] = d.LoadCap(netlist.InstID(i))
+	}
+	m.Reset()
+	return m
+}
+
+// Reset clears the accumulated pattern.
+func (m *Meter) Reset() {
+	m.instEnergy = make([]float64, m.d.NumInsts())
+	m.instEnergyVDD = make([]float64, m.d.NumInsts())
+	m.instEnergyVSS = make([]float64, m.d.NumInsts())
+	m.blocks = make([]BlockPower, m.d.NumBlocks+1)
+	for i := range m.blocks {
+		m.blocks[i].Block = i
+		m.blocks[i].First = -1
+	}
+	m.bins = m.bins[:0]
+}
+
+// OnToggle records one output transition; it has the sim.ToggleFn shape.
+func (m *Meter) OnToggle(inst netlist.InstID, t float64, rising bool) {
+	e := m.capOf[inst] * m.vdd2
+	m.instEnergy[inst] += e
+	m.waveformAccumulate(t, e)
+	if rising {
+		m.instEnergyVDD[inst] += e
+	} else {
+		m.instEnergyVSS[inst] += e
+	}
+	add := func(idx int) {
+		b := &m.blocks[idx]
+		b.Toggles++
+		if rising {
+			b.EnergyVDD += e
+		} else {
+			b.EnergyVSS += e
+		}
+		if b.First < 0 || t < b.First {
+			b.First = t
+		}
+		if t > b.Last {
+			b.Last = t
+		}
+	}
+	if bi := m.d.Insts[inst].Block; bi >= 0 {
+		add(bi)
+	}
+	add(len(m.blocks) - 1)
+}
+
+// Report finalizes the pattern at tester period T (ns) and returns the
+// profile. The meter keeps accumulating until Reset.
+func (m *Meter) Report(period float64) *Profile {
+	p := &Profile{
+		Period:        period,
+		Blocks:        make([]BlockPower, len(m.blocks)),
+		InstEnergy:    append([]float64(nil), m.instEnergy...),
+		InstEnergyVDD: append([]float64(nil), m.instEnergyVDD...),
+		InstEnergyVSS: append([]float64(nil), m.instEnergyVSS...),
+	}
+	copy(p.Blocks, m.blocks)
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if b.First < 0 {
+			b.First = 0
+		}
+		b.STW = b.Last
+		b.CAPVdd = mw(b.EnergyVDD, period)
+		b.CAPVss = mw(b.EnergyVSS, period)
+		b.SCAPVdd = mw(b.EnergyVDD, b.STW)
+		b.SCAPVss = mw(b.EnergyVSS, b.STW)
+	}
+	return p
+}
+
+// mw converts energy (fJ) over a window (ns) to mW; a zero window yields 0.
+func mw(energyFJ, windowNs float64) float64 {
+	if windowNs <= 0 {
+		return 0
+	}
+	return energyFJ / windowNs * 1e-3
+}
+
+// InstCurrents converts a per-instance energy vector (fJ) spent within a
+// window (ns) into average per-instance currents in mA, the input of the
+// IR-drop solver: I = E / (VDD · t).
+func InstCurrents(d *netlist.Design, energy []float64, windowNs float64) []float64 {
+	out := make([]float64, len(energy))
+	if windowNs <= 0 {
+		return out
+	}
+	for i, e := range energy {
+		out[i] = e / (d.Lib.VDD * windowNs) * 1e-3 // µA -> mA
+	}
+	return out
+}

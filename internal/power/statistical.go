@@ -1,0 +1,69 @@
+package power
+
+import "scap/internal/netlist"
+
+// BlockStat is the vector-less average switching power of one block.
+type BlockStat struct {
+	Block              int
+	PowerVddMW         float64
+	PowerVssMW         float64
+	SwitchedCapTotalFF float64
+}
+
+// StatProfile is the statistical (vector-less) power analysis result: the
+// paper's Section 2.2 methodology, where every net is assumed to toggle
+// with a fixed probability per cycle and the energy is averaged over a
+// chosen time-frame window (the full cycle for Case 1, half of it for
+// Case 2 — which doubles the average power).
+type StatProfile struct {
+	ToggleProb float64
+	WindowNs   float64
+	// Blocks holds one entry per floorplan block plus a chip-level entry.
+	Blocks []BlockStat
+}
+
+// Chip returns the chip-level entry.
+func (s *StatProfile) Chip() *BlockStat { return &s.Blocks[len(s.Blocks)-1] }
+
+// Statistical runs the vector-less power estimate: each instance output
+// toggles with probability toggleProb per tester cycle; rising and falling
+// transitions are equally likely, splitting the energy across the VDD and
+// VSS networks.
+func Statistical(d *netlist.Design, toggleProb, windowNs float64) *StatProfile {
+	s := &StatProfile{ToggleProb: toggleProb, WindowNs: windowNs}
+	s.Blocks = make([]BlockStat, d.NumBlocks+1)
+	for i := range s.Blocks {
+		s.Blocks[i].Block = i
+	}
+	vdd2 := d.Lib.VDD * d.Lib.VDD
+	chip := &s.Blocks[d.NumBlocks]
+	for i := range d.Insts {
+		c := d.LoadCap(netlist.InstID(i))
+		e := toggleProb * c * vdd2 // fJ per cycle
+		half := mw(e/2, windowNs)
+		if b := d.Insts[i].Block; b >= 0 {
+			s.Blocks[b].PowerVddMW += half
+			s.Blocks[b].PowerVssMW += half
+			s.Blocks[b].SwitchedCapTotalFF += toggleProb * c
+		}
+		chip.PowerVddMW += half
+		chip.PowerVssMW += half
+		chip.SwitchedCapTotalFF += toggleProb * c
+	}
+	return s
+}
+
+// StatCurrents returns the per-instance average current (mA) drawn under
+// the statistical model, the input of the vector-less IR-drop analysis.
+func StatCurrents(d *netlist.Design, toggleProb, windowNs float64) []float64 {
+	out := make([]float64, d.NumInsts())
+	if windowNs <= 0 {
+		return out
+	}
+	vdd := d.Lib.VDD
+	for i := range d.Insts {
+		e := toggleProb * d.LoadCap(netlist.InstID(i)) * vdd * vdd
+		out[i] = e / (vdd * windowNs) * 1e-3
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package power
+
+// Waveform is a time-binned instantaneous power trace of one pattern's
+// launch-to-capture cycle. The paper's introduction distinguishes the
+// *peak* power of the launch burst from cycle averages — the waveform
+// makes that visible: a pattern with modest CAP can still carry a sharp
+// launch spike, which is what SCAP approximates with its single window.
+type Waveform struct {
+	BinNs float64
+	// EnergyFJ[i] is the switching energy that landed in bin i
+	// [i*BinNs, (i+1)*BinNs).
+	EnergyFJ []float64
+}
+
+// PeakMW returns the largest per-bin average power in mW.
+func (w *Waveform) PeakMW() float64 {
+	peak := 0.0
+	for _, e := range w.EnergyFJ {
+		if p := mw(e, w.BinNs); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// PowerMW returns the per-bin average power series in mW.
+func (w *Waveform) PowerMW() []float64 {
+	out := make([]float64, len(w.EnergyFJ))
+	for i, e := range w.EnergyFJ {
+		out[i] = mw(e, w.BinNs)
+	}
+	return out
+}
+
+// EnableWaveform switches the meter to also bin energy over time with the
+// given resolution; it applies from the next Reset. A zero or negative bin
+// disables binning.
+func (m *Meter) EnableWaveform(binNs float64) {
+	m.binNs = binNs
+	m.Reset()
+}
+
+// waveformAccumulate records a toggle's energy into its time bin.
+func (m *Meter) waveformAccumulate(t, e float64) {
+	if m.binNs <= 0 {
+		return
+	}
+	idx := int(t / m.binNs)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(m.bins) <= idx {
+		m.bins = append(m.bins, 0)
+	}
+	m.bins[idx] += e
+}
+
+// WaveformOf returns the accumulated waveform since the last Reset, or nil
+// when binning is disabled.
+func (m *Meter) WaveformOf() *Waveform {
+	if m.binNs <= 0 {
+		return nil
+	}
+	return &Waveform{BinNs: m.binNs, EnergyFJ: append([]float64(nil), m.bins...)}
+}

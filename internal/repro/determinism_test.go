@@ -1,0 +1,33 @@
+package repro
+
+import "testing"
+
+// TestReportsDeterministic: the whole pipeline is seeded, so two fresh
+// runners at the same scale must produce byte-identical reports for every
+// experiment.
+func TestReportsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r1, err := New(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range Experiments {
+		a, err := r1.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := r2.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a != b {
+			t.Fatalf("%s: reports differ between identical runs", id)
+		}
+	}
+}

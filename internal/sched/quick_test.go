@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// clamp turns arbitrary quick-generated values into valid domain tests.
+func clampTests(times, powers [6]uint16, n uint8) []DomainTest {
+	k := 2 + int(n)%5
+	out := make([]DomainTest, k)
+	for i := range out {
+		out[i] = DomainTest{
+			Name:    string(rune('a' + i)),
+			TimeUS:  1 + float64(times[i]%1000),
+			PowerMW: 1 + float64(powers[i]%300),
+		}
+	}
+	return out
+}
+
+func maxPower(tests []DomainTest) float64 {
+	m := 0.0
+	for _, t := range tests {
+		if t.PowerMW > m {
+			m = t.PowerMW
+		}
+	}
+	return m
+}
+
+// TestQuickOrderingInvariant: optimal <= greedy <= serial for any inputs,
+// and every schedule passes Check.
+func TestQuickOrderingInvariant(t *testing.T) {
+	f := func(times, powers [6]uint16, n uint8, slack uint8) bool {
+		tests := clampTests(times, powers, n)
+		budget := maxPower(tests) * (1 + float64(slack%200)/100)
+		s := Serial(tests)
+		g, err := Greedy(tests, budget)
+		if err != nil {
+			return false
+		}
+		o, err := Optimal(tests, budget)
+		if err != nil {
+			return false
+		}
+		if Check(s, tests, budget+1e18) != nil ||
+			Check(g, tests, budget) != nil ||
+			Check(o, tests, budget) != nil {
+			return false
+		}
+		return o.MakespanUS <= g.MakespanUS+1e-9 && g.MakespanUS <= s.MakespanUS+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTightBudgetDegeneratesToSerial: with a budget only fitting the
+// largest single domain, every scheduler returns the serial makespan.
+func TestQuickTightBudgetDegeneratesToSerial(t *testing.T) {
+	f := func(times [6]uint16, n uint8) bool {
+		k := 2 + int(n)%5
+		tests := make([]DomainTest, k)
+		for i := range tests {
+			tests[i] = DomainTest{
+				Name:    "d",
+				TimeUS:  1 + float64(times[i]%1000),
+				PowerMW: 100, // equal power: at most one fits per session
+			}
+		}
+		budget := 150.0
+		o, err := Optimal(tests, budget)
+		if err != nil {
+			return false
+		}
+		return o.MakespanUS == Serial(tests).MakespanUS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package sdf computes and exchanges per-instance pin-to-output delays in a
+// reduced SDF-style format. It stands in for the paper's standard-delay-
+// format back-annotation step: the event-driven timing simulator and the
+// IR-drop-aware re-simulation both consume a Delays table, either computed
+// directly from the library and extracted parasitics (Compute) or read back
+// from an SDF file (Read).
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"scap/internal/netlist"
+)
+
+// Delays holds, for every instance (indexed by InstID), the delay from an
+// input change to the corresponding output change, split by output edge.
+// The value includes the cell delay under its extracted output load plus
+// the interconnect delay of the output net.
+type Delays struct {
+	Rise []float64 // ns, output rising
+	Fall []float64 // ns, output falling
+}
+
+// Compute derives nominal delays for every instance of d from the library's
+// linear delay model and the parasitic annotation on the nets.
+func Compute(d *netlist.Design) *Delays {
+	n := len(d.Insts)
+	dl := &Delays{Rise: make([]float64, n), Fall: make([]float64, n)}
+	for i := range d.Insts {
+		inst := &d.Insts[i]
+		c := d.Lib.Cell(inst.Kind)
+		load := d.LoadCap(inst.ID)
+		wire := d.Nets[inst.Out].WireDelay
+		dl.Rise[i] = c.RiseDelay(load) + wire
+		dl.Fall[i] = c.FallDelay(load) + wire
+	}
+	return dl
+}
+
+// Clone returns a deep copy of the delay table (used before scaling).
+func (dl *Delays) Clone() *Delays {
+	out := &Delays{Rise: make([]float64, len(dl.Rise)), Fall: make([]float64, len(dl.Fall))}
+	copy(out.Rise, dl.Rise)
+	copy(out.Fall, dl.Fall)
+	return out
+}
+
+// Of returns the rise and fall delay of instance id.
+func (dl *Delays) Of(id netlist.InstID) (rise, fall float64) {
+	return dl.Rise[id], dl.Fall[id]
+}
+
+// Write emits the delay table in reduced SDF form: one IOPATH record per
+// instance with rise and fall delays in ns.
+func Write(w io.Writer, d *netlist.Design, dl *Delays) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE (DESIGN \"%s\") (TIMESCALE 1ns)\n", d.Name)
+	for i := range d.Insts {
+		fmt.Fprintf(bw, "(CELL %s (IOPATH %.6g %.6g))\n", d.Insts[i].Name, dl.Rise[i], dl.Fall[i])
+	}
+	fmt.Fprintln(bw, ")")
+	return bw.Flush()
+}
+
+// Read parses a reduced-SDF stream written by Write and returns the delay
+// table for d (instances matched by name).
+func Read(r io.Reader, d *netlist.Design) (*Delays, error) {
+	byName := make(map[string]netlist.InstID, len(d.Insts))
+	for i := range d.Insts {
+		byName[d.Insts[i].Name] = netlist.InstID(i)
+	}
+	dl := &Delays{Rise: make([]float64, len(d.Insts)), Fall: make([]float64, len(d.Insts))}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(txt, "(CELL ") {
+			continue
+		}
+		txt = strings.TrimSuffix(strings.TrimPrefix(txt, "("), ")")
+		txt = strings.ReplaceAll(txt, "(", " ")
+		txt = strings.ReplaceAll(txt, ")", " ")
+		f := strings.Fields(txt)
+		// Expect: CELL <name> IOPATH <rise> <fall>
+		if len(f) != 5 || f[0] != "CELL" || f[2] != "IOPATH" {
+			return nil, fmt.Errorf("sdf: line %d: malformed record %q", line, txt)
+		}
+		id, ok := byName[f[1]]
+		if !ok {
+			return nil, fmt.Errorf("sdf: line %d: unknown instance %q", line, f[1])
+		}
+		rise, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sdf: line %d: bad rise delay: %v", line, err)
+		}
+		fall, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sdf: line %d: bad fall delay: %v", line, err)
+		}
+		dl.Rise[id], dl.Fall[id] = rise, fall
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return dl, nil
+}

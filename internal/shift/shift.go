@@ -1,0 +1,88 @@
+// Package shift estimates scan-shift switching activity. The paper
+// deliberately excludes shift IR-drop (shifting runs at a slow 10 MHz),
+// but its fill discussion notes that fill-adjacent exists to cut *shift*
+// power; this package quantifies that trade-off with the standard
+// weighted-transition-count (WTC) metric so the fill ablation can report
+// both sides: capture power (SCAP) and shift power (WTC).
+//
+// For a chain of length L loaded with bits b[0..L-1] (b[0] next to the
+// scan-in pin), a transition between b[k] and b[k+1] travels through the
+// downstream cells while shifting in and is conventionally weighted by its
+// distance from the scan-in: WTC = Σ_k (L-1-k) · [b'[k] != b'[k+1]] over
+// the shift-order bit stream. Higher WTC means more cell toggles per load.
+package shift
+
+import (
+	"fmt"
+
+	"scap/internal/atpg"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/scan"
+)
+
+// Profile is the shift-activity summary of one pattern.
+type Profile struct {
+	// WTC is the summed weighted transition count over all chains.
+	WTC int
+	// Transitions is the unweighted adjacent-bit transition count.
+	Transitions int
+	// Bits is the total number of scan bits shifted.
+	Bits int
+}
+
+// Rate returns transitions per bit boundary (0..1), a fill-quality measure.
+func (p Profile) Rate() float64 {
+	boundaries := p.Bits - 1
+	if boundaries <= 0 {
+		return 0
+	}
+	return float64(p.Transitions) / float64(boundaries)
+}
+
+// Measure computes the shift profile of one pattern's scan-in state.
+func Measure(d *netlist.Design, sc *scan.Scan, p *atpg.Pattern) (Profile, error) {
+	if len(p.V1) != len(d.Flops) {
+		return Profile{}, fmt.Errorf("shift: pattern has %d state bits, design %d",
+			len(p.V1), len(d.Flops))
+	}
+	idx := make(map[netlist.InstID]int, len(d.Flops))
+	for i, f := range d.Flops {
+		idx[f] = i
+	}
+	var prof Profile
+	for _, c := range sc.Chains {
+		L := len(c.Flops)
+		prof.Bits += L
+		for k := 0; k+1 < L; k++ {
+			a := p.V1[idx[c.Flops[k]]]
+			b := p.V1[idx[c.Flops[k+1]]]
+			if a == logic.X || b == logic.X || a == b {
+				continue
+			}
+			prof.Transitions++
+			prof.WTC += L - 1 - k
+		}
+	}
+	return prof, nil
+}
+
+// MeasureSet averages the shift profile over a pattern set.
+func MeasureSet(d *netlist.Design, sc *scan.Scan, pats []atpg.Pattern) (mean Profile, rate float64, err error) {
+	if len(pats) == 0 {
+		return Profile{}, 0, fmt.Errorf("shift: empty pattern set")
+	}
+	var wtc, tr, bits int
+	for i := range pats {
+		p, err := Measure(d, sc, &pats[i])
+		if err != nil {
+			return Profile{}, 0, err
+		}
+		wtc += p.WTC
+		tr += p.Transitions
+		bits += p.Bits
+	}
+	n := len(pats)
+	mean = Profile{WTC: wtc / n, Transitions: tr / n, Bits: bits / n}
+	return mean, mean.Rate(), nil
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"scap/internal/cell"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+	"scap/internal/sdf"
+)
+
+// Clock supplies per-flop clock arrival times (ns after the clock-source
+// edge). *clocktree.Tree implements it; internal/delayscale substitutes an
+// IR-drop-derated version.
+type Clock interface {
+	Arrival(f netlist.InstID) float64
+}
+
+// ToggleFn receives one output transition during timing simulation: the
+// driving instance, the transition time (ns after the launch clock-source
+// edge) and the new value's polarity. This is the reproduction of the
+// paper's PLI hook: power accounting happens in the callback with no VCD
+// intermediary.
+type ToggleFn func(inst netlist.InstID, t float64, rising bool)
+
+// Timing is the event-driven gate-level timing simulator.
+type Timing struct {
+	sim    *Simulator
+	delays *sdf.Delays
+	tree   Clock // nil means an ideal (zero-skew) clock
+
+	// MaxEventsPerNet guards against event explosion in glitchy
+	// reconvergent logic; further transitions on a saturated net are
+	// dropped and counted in Result.Suppressed.
+	MaxEventsPerNet int
+
+	// MinPulseNs floors the inertial filter: an output pulse narrower than
+	// max(MinPulseNs, the driving gate's own switching delay) is swallowed
+	// (classical inertial delay — a gate cannot produce a pulse shorter
+	// than the time it takes to switch). Zero keeps only the per-gate
+	// window; a negative value disables filtering (pure transport delay).
+	MinPulseNs float64
+}
+
+// NewTiming builds a timing simulator from a combinational simulator, a
+// delay table and an optional clock tree.
+func NewTiming(s *Simulator, delays *sdf.Delays, tree Clock) *Timing {
+	return &Timing{sim: s, delays: delays, tree: tree, MaxEventsPerNet: 128, MinPulseNs: 0.12}
+}
+
+// Result summarizes one launch-to-capture timing simulation.
+type Result struct {
+	Toggles    int     // total output transitions observed
+	Suppressed int     // transitions dropped by the per-net event cap
+	FirstEvent float64 // time of the first transition (ns), 0 if none
+	LastEvent  float64 // time of the last transition (ns), 0 if none
+
+	// STW is the switching time frame window: the span during which all
+	// transitions occur, measured from the launch clock edge to the last
+	// transition (the paper's definition: the maximum path length affected
+	// by the pattern determines this frame).
+	STW float64
+
+	// EndpointArrival[i] is the time of the last transition seen at the D
+	// input of flop i (d.Flops order); EndpointActive[i] reports whether
+	// the endpoint saw any transition at all. Non-active endpoints are the
+	// paper's zero-delay endpoints in Figure 7.
+	EndpointArrival []float64
+	EndpointActive  []bool
+
+	// Nets holds the final settled net values.
+	Nets []logic.V
+}
+
+type event struct {
+	t   float64
+	seq int
+	net netlist.NetID
+	val logic.V
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Launch runs one at-speed launch-to-capture cycle:
+//
+//   - the network is settled at the pre-launch state v1 (per-flop values,
+//     d.Flops order) with constant primary inputs pis;
+//   - at each flop's clock arrival time the flop output switches to its
+//     launch value v2 (launch-off-capture: v2 is the captured response of
+//     v1, but any v2 works — launch-off-shift passes the last-shift state);
+//   - events propagate through the combinational logic with per-instance
+//     rise/fall delays until the queue drains or the capture edge at
+//     period ns has long passed.
+//
+// onToggle (optional) observes every output transition. The returned
+// Result carries switching statistics, the STW and per-endpoint arrivals.
+func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onToggle ToggleFn) (*Result, error) {
+	s := tm.sim
+	d := s.d
+	if len(v1) != len(d.Flops) || len(v2) != len(d.Flops) {
+		return nil, fmt.Errorf("sim: state length %d/%d, want %d", len(v1), len(v2), len(d.Flops))
+	}
+	if len(pis) != len(d.PIs) {
+		return nil, fmt.Errorf("sim: pi length %d, want %d", len(pis), len(d.PIs))
+	}
+
+	nets := s.NewNets()
+	s.SetPIs(nets, pis)
+	s.ApplyState(nets, v1)
+	s.Propagate(nets)
+
+	// projected[n] is the value net n will hold once all scheduled events
+	// fire; it gates event creation so a gate output is only scheduled when
+	// its eventual value actually changes.
+	projected := make([]logic.V, len(nets))
+	copy(projected, nets)
+	eventsOn := make([]int, len(nets))
+	// lastSched enforces per-net application order: with unequal rise/fall
+	// delays a later-scheduled edge could otherwise overtake a pending one
+	// and leave the net at a stale value. Clamping to the previous
+	// scheduled time models the narrow pulse being swallowed.
+	lastSched := make([]float64, len(nets))
+	// Inertial-filter state: the seq of the still-pending last event per
+	// net (-1 when none) and the projected value before it.
+	lastSeq := make([]int, len(nets))
+	prevProj := make([]logic.V, len(nets))
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	voided := map[int]bool{}
+
+	res := &Result{
+		EndpointArrival: make([]float64, len(d.Flops)),
+		EndpointActive:  make([]bool, len(d.Flops)),
+	}
+
+	var q eventQueue
+	seq := 0
+	// push schedules net n to take value v at time t; width is the
+	// driving stage's inertial window. The caller must have verified v
+	// differs from projected[n]; push updates projected[n].
+	push := func(t float64, n netlist.NetID, v logic.V, width float64) {
+		if eventsOn[n] >= tm.MaxEventsPerNet {
+			res.Suppressed++
+			return
+		}
+		if t < lastSched[n] {
+			t = lastSched[n]
+		}
+		if width < tm.MinPulseNs {
+			width = tm.MinPulseNs
+		}
+		// Inertial filter: returning to the pre-pulse value within the
+		// stage's switching window swallows the pulse.
+		if tm.MinPulseNs >= 0 && lastSeq[n] >= 0 && v == prevProj[n] &&
+			t-lastSched[n] < width {
+			voided[lastSeq[n]] = true
+			lastSeq[n] = -1
+			projected[n] = v
+			return
+		}
+		prevProj[n] = projected[n]
+		projected[n] = v
+		lastSched[n] = t
+		lastSeq[n] = seq
+		eventsOn[n]++
+		heap.Push(&q, event{t: t, seq: seq, net: n, val: v})
+		seq++
+	}
+
+	// Launch edge: flops whose state changes emit a Q transition at their
+	// clock arrival time.
+	for i, f := range d.Flops {
+		if v1[i] == v2[i] || v2[i] == logic.X {
+			continue
+		}
+		t := 0.0
+		if tm.tree != nil {
+			t = tm.tree.Arrival(f)
+		}
+		push(t, d.Insts[f].Out, v2[i], 0)
+	}
+
+	horizon := 4 * period // safety: glitch tails beyond this are abandoned
+	var buf [4]logic.V
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		if voided[ev.seq] {
+			delete(voided, ev.seq)
+			continue
+		}
+		if lastSeq[ev.net] == ev.seq {
+			lastSeq[ev.net] = -1 // no longer cancellable
+		}
+		if ev.t > horizon {
+			res.Suppressed += q.Len() + 1
+			break
+		}
+		old := nets[ev.net]
+		if old == ev.val {
+			continue
+		}
+		nets[ev.net] = ev.val
+
+		// Account the transition against the driving instance.
+		drv := d.Nets[ev.net].Driver
+		if old != logic.X && ev.val != logic.X {
+			res.Toggles++
+			if res.FirstEvent == 0 || ev.t < res.FirstEvent {
+				res.FirstEvent = ev.t
+			}
+			if ev.t > res.LastEvent {
+				res.LastEvent = ev.t
+			}
+			if onToggle != nil && drv != netlist.NoInst {
+				onToggle(drv, ev.t, ev.val == logic.One)
+			}
+		}
+
+		for _, ld := range d.Nets[ev.net].Loads {
+			inst := &d.Insts[ld.Inst]
+			if inst.IsFlop() {
+				if ld.Pin == 0 { // D input: endpoint observation
+					fi := s.flopIndex[ld.Inst]
+					res.EndpointArrival[fi] = ev.t
+					res.EndpointActive[fi] = true
+				}
+				continue
+			}
+			in := buf[:len(inst.In)]
+			for p, n := range inst.In {
+				in[p] = nets[n]
+			}
+			newOut := cell.Eval(inst.Kind, in)
+			if newOut == projected[inst.Out] {
+				continue
+			}
+			rise, fall := tm.delays.Of(inst.ID)
+			dly := fall
+			if newOut == logic.One {
+				dly = rise
+			}
+			push(ev.t+dly, inst.Out, newOut, dly)
+		}
+	}
+
+	res.STW = res.LastEvent
+	res.Nets = nets
+	return res, nil
+}

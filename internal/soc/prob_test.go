@@ -1,0 +1,44 @@
+package soc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scap/internal/cell"
+	"scap/internal/logic"
+)
+
+// TestProbEvalMatchesMonteCarlo validates the generator's signal-probability
+// model: for independent random inputs with known P(1), the analytic
+// probEval must match the empirical output probability for every cell kind.
+func TestProbEvalMatchesMonteCarlo(t *testing.T) {
+	lib := cell.New180nm()
+	r := rand.New(rand.NewSource(8))
+	const trials = 40000
+	for _, k := range lib.Kinds() {
+		if k.IsSequential() {
+			continue
+		}
+		n := k.NumInputs()
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = 0.15 + 0.7*r.Float64()
+		}
+		want := probEval(k, ps)
+		ones := 0
+		in := make([]logic.V, n)
+		for tr := 0; tr < trials; tr++ {
+			for i := range in {
+				in[i] = logic.FromBool(r.Float64() < ps[i])
+			}
+			if cell.Eval(k, in) == logic.One {
+				ones++
+			}
+		}
+		got := float64(ones) / trials
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("%v: analytic %.3f vs empirical %.3f (ps=%v)", k, want, got, ps)
+		}
+	}
+}

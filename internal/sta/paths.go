@@ -1,0 +1,89 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scap/internal/clocktree"
+	"scap/internal/netlist"
+	"scap/internal/sdf"
+)
+
+// Path is one timed launch-to-capture path.
+type Path struct {
+	Endpoint netlist.InstID // capture flop
+	DelayNs  float64        // arrival at D minus the endpoint's clock arrival
+	SlackNs  float64
+	// Insts lists the path's instances from the launch flop to the gate
+	// driving the endpoint's D input.
+	Insts []netlist.InstID
+}
+
+// WorstPaths returns the k worst (smallest-slack) paths of a domain, one
+// per endpoint, sorted by slack ascending — the report a signoff engineer
+// reads first. It reuses the arrival analysis and recovers each endpoint's
+// path by walking worst-arrival fanins.
+func WorstPaths(d *netlist.Design, delays *sdf.Delays, tree *clocktree.Tree,
+	dom int, period float64, k int) ([]Path, error) {
+
+	if k <= 0 {
+		return nil, fmt.Errorf("sta: k must be positive")
+	}
+	res, err := Analyze(d, delays, tree, dom, period)
+	if err != nil {
+		return nil, err
+	}
+
+	type cand struct {
+		flopPos int
+		slack   float64
+	}
+	var cands []cand
+	for i := range d.Flops {
+		dly := res.EndpointDelay[i]
+		if math.IsNaN(dly) {
+			continue
+		}
+		cands = append(cands, cand{flopPos: i, slack: period - dly})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].slack < cands[b].slack })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+
+	paths := make([]Path, 0, len(cands))
+	for _, c := range cands {
+		f := d.Flops[c.flopPos]
+		p := Path{Endpoint: f, DelayNs: res.EndpointDelay[c.flopPos], SlackNs: c.slack}
+		// Walk backward along worst arrivals from the D net.
+		n := d.Inst(f).In[0]
+		for steps := 0; steps < d.NumInsts(); steps++ {
+			drv := d.Nets[n].Driver
+			if drv == netlist.NoInst {
+				break
+			}
+			p.Insts = append(p.Insts, drv)
+			inst := d.Inst(drv)
+			if inst.IsFlop() {
+				break
+			}
+			worst, pick := math.Inf(-1), netlist.NoNet
+			for _, in := range inst.In {
+				if in != netlist.NoNet && res.Arrival[in] > worst {
+					worst, pick = res.Arrival[in], in
+				}
+			}
+			if pick == netlist.NoNet || math.IsInf(worst, -1) {
+				break
+			}
+			n = pick
+		}
+		// Reverse to launch-to-capture order.
+		for i, j := 0, len(p.Insts)-1; i < j; i, j = i+1, j-1 {
+			p.Insts[i], p.Insts[j] = p.Insts[j], p.Insts[i]
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,167 @@
+// Package sta implements a lightweight static timing analysis over the
+// gate-level netlist: topological worst-case arrival times for one clock
+// domain's launch-to-capture paths, per-endpoint path delays relative to
+// the capture flop's own clock arrival, and critical-path extraction.
+//
+// The reproduction uses it to estimate the switching time frame window
+// without simulation (the STW-estimate ablation), to calibrate the SOC's
+// path-depth against the paper's "STW ≈ half the cycle" observation, and
+// to report worst negative slack under the test period.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"scap/internal/clocktree"
+	"scap/internal/netlist"
+	"scap/internal/sdf"
+)
+
+// Results holds one domain's static timing picture.
+type Results struct {
+	Dom int
+	// Arrival is the worst-case transition arrival time per net (ns after
+	// the launch clock-source edge); nets unreachable from the domain's
+	// launch flops hold -Inf.
+	Arrival []float64
+	// EndpointDelay[i] is the arrival at flop i's D input minus that
+	// flop's own clock arrival; NaN for unreachable endpoints.
+	EndpointDelay []float64
+	// MaxArrival is the latest arrival at any observed endpoint — the STA
+	// estimate of the worst switching time frame window.
+	MaxArrival float64
+	// WNS is the worst negative slack at the analyzed period (positive
+	// means all paths meet timing).
+	WNS float64
+	// CritEndpoint is the flop index of the critical endpoint (-1 if none).
+	CritEndpoint int
+	// CritPath lists the instances of the critical path, launch to capture.
+	CritPath []netlist.InstID
+}
+
+// Analyze runs worst-case arrival analysis for domain dom at the given
+// test period. Launch points are the domain's flops (clock arrival plus
+// clock-to-Q); primary inputs are static and do not launch transitions.
+func Analyze(d *netlist.Design, delays *sdf.Delays, tree *clocktree.Tree, dom int, period float64) (*Results, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	neg := math.Inf(-1)
+	res := &Results{
+		Dom:           dom,
+		Arrival:       make([]float64, d.NumNets()),
+		EndpointDelay: make([]float64, len(d.Flops)),
+		CritEndpoint:  -1,
+	}
+	for i := range res.Arrival {
+		res.Arrival[i] = neg
+	}
+	// from[n] records the instance whose arc set net n's arrival (for path
+	// recovery); NoInst for launch points.
+	from := make([]netlist.InstID, d.NumNets())
+	for i := range from {
+		from[i] = netlist.NoInst
+	}
+
+	for _, f := range d.Flops {
+		inst := d.Inst(f)
+		if inst.Domain != dom {
+			continue
+		}
+		clk := 0.0
+		if tree != nil {
+			clk = tree.Arrival(f)
+		}
+		rise, fall := delays.Of(f)
+		a := clk + math.Max(rise, fall)
+		if a > res.Arrival[inst.Out] {
+			res.Arrival[inst.Out] = a
+			from[inst.Out] = f
+		}
+	}
+
+	for _, id := range order {
+		inst := d.Inst(id)
+		if inst.IsFlop() {
+			continue
+		}
+		worst := neg
+		for _, in := range inst.In {
+			if in != netlist.NoNet && res.Arrival[in] > worst {
+				worst = res.Arrival[in]
+			}
+		}
+		if math.IsInf(worst, -1) {
+			continue
+		}
+		rise, fall := delays.Of(id)
+		a := worst + math.Max(rise, fall)
+		if a > res.Arrival[inst.Out] {
+			res.Arrival[inst.Out] = a
+			from[inst.Out] = id
+		}
+	}
+
+	res.WNS = math.Inf(1)
+	for i, f := range d.Flops {
+		inst := d.Inst(f)
+		dn := inst.In[0]
+		a := res.Arrival[dn]
+		if math.IsInf(a, -1) || inst.Domain != dom {
+			res.EndpointDelay[i] = math.NaN()
+			continue
+		}
+		clk := 0.0
+		if tree != nil {
+			clk = tree.Arrival(f)
+		}
+		res.EndpointDelay[i] = a - clk
+		if a > res.MaxArrival {
+			res.MaxArrival = a
+			res.CritEndpoint = i
+		}
+		if slack := period + clk - a; slack < res.WNS {
+			res.WNS = slack
+		}
+	}
+	if math.IsInf(res.WNS, 1) {
+		res.WNS = period
+	}
+
+	if res.CritEndpoint >= 0 {
+		// Recover the critical path by walking from pointers backward.
+		f := d.Flops[res.CritEndpoint]
+		path := []netlist.InstID{f}
+		n := d.Inst(f).In[0]
+		for steps := 0; steps < d.NumInsts(); steps++ {
+			src := from[n]
+			if src == netlist.NoInst {
+				break
+			}
+			path = append(path, src)
+			inst := d.Inst(src)
+			if inst.IsFlop() {
+				break
+			}
+			// Continue from the input with the worst arrival.
+			worst, pick := neg, netlist.NoNet
+			for _, in := range inst.In {
+				if in != netlist.NoNet && res.Arrival[in] > worst {
+					worst, pick = res.Arrival[in], in
+				}
+			}
+			if pick == netlist.NoNet {
+				break
+			}
+			n = pick
+		}
+		// Reverse to launch-to-capture order.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		res.CritPath = path
+	}
+	return res, nil
+}

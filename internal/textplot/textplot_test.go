@@ -1,0 +1,95 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	ys := []float64{1, 2, 3, 10, 2, 1, 8}
+	s := Scatter(ys, 5, 40, 10, "SCAP", "mW")
+	if !strings.Contains(s, "SCAP") || !strings.Contains(s, "threshold 5") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "*") {
+		t.Fatal("no above-threshold markers")
+	}
+	if !strings.Contains(s, ".") {
+		t.Fatal("no below-threshold markers")
+	}
+	if !strings.Contains(s, "-") {
+		t.Fatal("no threshold line")
+	}
+	if got := Scatter(nil, 5, 40, 10, "E", "mW"); !strings.Contains(got, "no data") {
+		t.Fatal("empty input not handled")
+	}
+}
+
+func TestCurves(t *testing.T) {
+	s := Curves([]Series{
+		{Label: "conventional", Ys: []float64{10, 50, 80, 90}},
+		{Label: "new", Ys: []float64{5, 30, 60, 85, 90}},
+	}, 40, 10, "Coverage", "%")
+	if !strings.Contains(s, "a = conventional") || !strings.Contains(s, "b = new") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatal("curves not drawn")
+	}
+	if got := Curves(nil, 40, 10, "E", "%"); !strings.Contains(got, "no data") {
+		t.Fatal("empty input not handled")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	n := 4
+	vals := make([]float64, n*n)
+	vals[5] = 0.3  // above threshold
+	vals[10] = 0.1 // below
+	s := Heatmap(vals, n, 0.18, "IR-drop")
+	if !strings.Contains(s, "@") {
+		t.Fatalf("threshold marker missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != n+1 {
+		t.Fatalf("want %d rows + header, got %d", n, len(lines))
+	}
+	// Row 0 is at the bottom: vals[5] is row 1 col 1, so '@' must be in
+	// the second line from the bottom.
+	if !strings.Contains(lines[len(lines)-2], "@") {
+		t.Fatalf("hot cell in wrong row:\n%s", s)
+	}
+	if got := Heatmap(vals, 3, 0.1, "bad"); !strings.Contains(got, "no data") {
+		t.Fatal("size mismatch not handled")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	s := Profile([]float64{0, 1.5, -0.5, 3, 0}, 40, 11, "Endpoint delay delta", "ns")
+	if !strings.Contains(s, "+") {
+		t.Fatal("positive markers missing")
+	}
+	if !strings.Contains(s, "o") {
+		t.Fatal("negative markers missing")
+	}
+	if got := Profile(nil, 40, 11, "E", "ns"); !strings.Contains(got, "no data") {
+		t.Fatal("empty input not handled")
+	}
+	// All-zero input should not panic and draws just the axis.
+	if got := Profile([]float64{0, 0}, 40, 11, "Z", "ns"); !strings.Contains(got, "-") {
+		t.Fatal("zero input missing axis")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := Histogram([]int{5, 0, 12}, []string{"0-10%", "10-20%", "20-30%"}, 30, "slack deciles")
+	if !strings.Contains(s, "####") || !strings.Contains(s, "20-30%") {
+		t.Fatalf("histogram malformed:\n%s", s)
+	}
+	if got := Histogram(nil, nil, 10, "x"); !strings.Contains(got, "no data") {
+		t.Fatal("empty not handled")
+	}
+	if got := Histogram([]int{1}, []string{"a", "b"}, 10, "x"); !strings.Contains(got, "no data") {
+		t.Fatal("length mismatch not handled")
+	}
+}

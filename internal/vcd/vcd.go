@@ -1,0 +1,139 @@
+// Package vcd records switching activity in the IEEE 1364 value-change-dump
+// format. The main SCAP flow streams toggles straight into the power meter
+// (the paper's PLI shortcut that avoids "extremely large VCD files"), but
+// the dump remains available for debugging single patterns and for
+// interoperability, mirroring the paper's Figure 5 where VCD is the
+// fallback exchange format.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scap/internal/netlist"
+)
+
+// Change is one recorded value change.
+type Change struct {
+	TimeNs float64
+	Net    string
+	Rising bool
+}
+
+// Recorder collects toggles from a timing simulation.
+type Recorder struct {
+	d       *netlist.Design
+	Changes []Change
+}
+
+// NewRecorder builds a recorder for design d.
+func NewRecorder(d *netlist.Design) *Recorder { return &Recorder{d: d} }
+
+// OnToggle has the sim.ToggleFn shape.
+func (r *Recorder) OnToggle(inst netlist.InstID, t float64, rising bool) {
+	r.Changes = append(r.Changes, Change{
+		TimeNs: t,
+		Net:    r.d.Nets[r.d.Insts[inst].Out].Name,
+		Rising: rising,
+	})
+}
+
+// id94 renders n as a compact printable VCD identifier.
+func id94(n int) string {
+	var b []byte
+	for {
+		b = append(b, byte('!'+n%94))
+		n /= 94
+		if n == 0 {
+			break
+		}
+	}
+	return string(b)
+}
+
+// Write emits the recorded changes as a VCD stream with 1 ps timescale.
+func (r *Recorder) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date repro $end\n$version scap %s $end\n$timescale 1ps $end\n", r.d.Name)
+	fmt.Fprintln(bw, "$scope module top $end")
+	ids := map[string]string{}
+	var names []string
+	for _, c := range r.Changes {
+		if _, ok := ids[c.Net]; !ok {
+			ids[c.Net] = id94(len(ids))
+			names = append(names, c.Net)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", ids[n], n)
+	}
+	fmt.Fprintln(bw, "$upscope $end\n$enddefinitions $end")
+
+	sorted := append([]Change(nil), r.Changes...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TimeNs < sorted[j].TimeNs })
+	lastT := -1
+	for _, c := range sorted {
+		ps := int(c.TimeNs*1000 + 0.5)
+		if ps != lastT {
+			fmt.Fprintf(bw, "#%d\n", ps)
+			lastT = ps
+		}
+		v := byte('0')
+		if c.Rising {
+			v = '1'
+		}
+		fmt.Fprintf(bw, "%c%s\n", v, ids[c.Net])
+	}
+	return bw.Flush()
+}
+
+// Read parses a VCD stream written by Write (single-bit wires only) and
+// returns the changes in time order.
+func Read(rd io.Reader) ([]Change, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	names := map[string]string{} // id -> net name
+	var out []Change
+	t := 0.0
+	inDefs := true
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		switch {
+		case txt == "":
+			continue
+		case strings.HasPrefix(txt, "$var"):
+			f := strings.Fields(txt)
+			if len(f) < 6 {
+				return nil, fmt.Errorf("vcd: line %d: bad $var", line)
+			}
+			names[f[3]] = f[4]
+		case strings.HasPrefix(txt, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(txt, "$"):
+			continue
+		case strings.HasPrefix(txt, "#"):
+			ps, err := strconv.Atoi(txt[1:])
+			if err != nil {
+				return nil, fmt.Errorf("vcd: line %d: bad timestamp: %v", line, err)
+			}
+			t = float64(ps) / 1000
+		case !inDefs && (txt[0] == '0' || txt[0] == '1'):
+			id := txt[1:]
+			name, ok := names[id]
+			if !ok {
+				return nil, fmt.Errorf("vcd: line %d: unknown id %q", line, id)
+			}
+			out = append(out, Change{TimeNs: t, Net: name, Rising: txt[0] == '1'})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+// hand-written 4-bit synchronous up-counter in the scap Verilog subset
+// blocks: 1
+// domain 0: clk 100 MHz
+module counter4 (clk, q3_po);
+  input clk;
+  output q3_po;
+  wire q0;
+  wire q1;
+  wire q2;
+  wire q3;
+  wire c01;
+  wire c012;
+  wire d0;
+  wire d1;
+  wire d2;
+  wire d3;
+  assign q3_po = q3;
+  INV u_d0 (.Y(d0), .A(q0)); // block=0
+  XOR2 u_d1 (.Y(d1), .A(q1), .B(q0)); // block=0
+  AND2 u_c01 (.Y(c01), .A(q0), .B(q1)); // block=0
+  XOR2 u_d2 (.Y(d2), .A(q2), .B(c01)); // block=0
+  AND2 u_c012 (.Y(c012), .A(c01), .B(q2)); // block=0
+  XOR2 u_d3 (.Y(d3), .A(q3), .B(c012)); // block=0
+  DFF u_q0 (.Y(q0), .D(d0), .CK(clk)); // block=0 domain=0 negedge=false
+  DFF u_q1 (.Y(q1), .D(d1), .CK(clk)); // block=0 domain=0 negedge=false
+  DFF u_q2 (.Y(q2), .D(d2), .CK(clk)); // block=0 domain=0 negedge=false
+  DFF u_q3 (.Y(q3), .D(d3), .CK(clk)); // block=0 domain=0 negedge=false
+endmodule

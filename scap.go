@@ -1,0 +1,190 @@
+// Package scap reproduces "Transition Delay Fault Test Pattern Generation
+// Considering Supply Voltage Noise in a SOC Design" (Ahmed, Tehranipoor,
+// Jayaram — DAC 2007): the SCAP switching-cycle-average-power model, the
+// supply-noise-tolerant per-block fill-0 pattern-generation procedure, and
+// the statistical/dynamic IR-drop validation flow — together with every
+// substrate they need (synthetic SOC, scan DFT, two-frame PODEM ATPG,
+// event-driven timing simulation, power-grid solver).
+//
+// This file is the public facade: it re-exports the main entry points so
+// that examples and downstream users interact with one package.
+//
+//	sys, _ := scap.Build(scap.DefaultConfig(8))
+//	stat, _ := sys.Statistical()
+//	conv, _ := sys.ConventionalFlow(0)       // random-fill baseline
+//	quiet, _ := sys.NewProcedureFlow(0)      // the paper's 3-step procedure
+//	prof, _ := sys.ProfilePatterns(quiet)    // per-pattern SCAP
+package scap
+
+import (
+	"io"
+
+	"scap/internal/atpg"
+	"scap/internal/core"
+	"scap/internal/delayscale"
+	"scap/internal/fault"
+	"scap/internal/ftas"
+	"scap/internal/pattern"
+	"scap/internal/repro"
+	"scap/internal/sched"
+	"scap/internal/soc"
+	"scap/internal/verilog"
+)
+
+// Config aggregates all subsystem parameters; see core.Config.
+type Config = core.Config
+
+// System is a fully built SOC plus its analysis machinery.
+type System = core.System
+
+// FlowResult is one complete pattern-generation flow.
+type FlowResult = core.FlowResult
+
+// PatternProfile is the per-pattern SCAP/CAP summary.
+type PatternProfile = core.PatternProfile
+
+// StatAnalysis is the vector-less statistical IR-drop analysis (Table 3).
+type StatAnalysis = core.StatAnalysis
+
+// DynamicIR is one pattern's dynamic IR-drop analysis.
+type DynamicIR = core.DynamicIR
+
+// PowerModel selects CAP or SCAP averaging for dynamic analyses.
+type PowerModel = core.PowerModel
+
+// Power models.
+const (
+	ModelCAP  = core.ModelCAP
+	ModelSCAP = core.ModelSCAP
+)
+
+// Pattern is one launch-off-capture (or -shift) test pattern.
+type Pattern = atpg.Pattern
+
+// ATPGOptions configures a raw ATPG invocation (System.ATPG).
+type ATPGOptions = atpg.Options
+
+// Fill is the don't-care fill strategy.
+type Fill = atpg.Fill
+
+// Fill strategies.
+const (
+	FillRandom   = atpg.FillRandom
+	Fill0        = atpg.Fill0
+	Fill1        = atpg.Fill1
+	FillAdjacent = atpg.FillAdjacent
+)
+
+// LaunchMode selects launch-off-capture or launch-off-shift.
+type LaunchMode = atpg.LaunchMode
+
+// Launch modes.
+const (
+	LOC = atpg.LOC
+	LOS = atpg.LOS
+)
+
+// DefaultConfig returns the full experiment configuration at the given
+// scale divisor (1 = the paper's ~23K-flop design; 8 runs in seconds).
+func DefaultConfig(scale int) Config { return core.DefaultConfig(scale) }
+
+// Build constructs the SOC and all analysis machinery.
+func Build(cfg Config) (*System, error) { return core.Build(cfg) }
+
+// AboveThreshold counts patterns whose SCAP in a block exceeds a threshold.
+func AboveThreshold(profiles []PatternProfile, block int, thresholdMW float64) int {
+	return core.AboveThreshold(profiles, block, thresholdMW)
+}
+
+// Runner regenerates the paper's tables and figures.
+type Runner = repro.Runner
+
+// NewRunner builds a system at the given scale and prepares the experiment
+// harness (see Experiments for the ids).
+func NewRunner(scale int) (*Runner, error) { return repro.New(scale) }
+
+// Experiments lists the reproducible table/figure ids in paper order.
+var Experiments = repro.Experiments
+
+// --- paper-adjacent extensions -------------------------------------------
+
+// DomainTest, Session and Schedule describe power-constrained SOC test
+// scheduling (see internal/sched).
+type (
+	DomainTest = sched.DomainTest
+	Session    = sched.Session
+	Schedule   = sched.Schedule
+)
+
+// ScheduleSerial returns the one-domain-at-a-time schedule.
+func ScheduleSerial(tests []DomainTest) *Schedule { return sched.Serial(tests) }
+
+// ScheduleGreedy packs domains longest-first under the power budget.
+func ScheduleGreedy(tests []DomainTest, budgetMW float64) (*Schedule, error) {
+	return sched.Greedy(tests, budgetMW)
+}
+
+// ScheduleOptimal computes the exact minimum-makespan schedule (≤16 domains).
+func ScheduleOptimal(tests []DomainTest, budgetMW float64) (*Schedule, error) {
+	return sched.Optimal(tests, budgetMW)
+}
+
+// FTASResult is a faster-than-at-speed overkill sweep (see internal/ftas).
+type FTASResult = ftas.Result
+
+// FTASSweep sweeps capture periods over a delay-impact analysis and counts
+// the good-chip failures IR-drop would cause at each frequency.
+func FTASSweep(imp *delayscale.Impact, minPeriod, maxPeriod, step, margin float64) (*FTASResult, error) {
+	return ftas.Sweep(imp, minPeriod, maxPeriod, step, margin)
+}
+
+// DelayImpact is the nominal-vs-derated endpoint comparison of one pattern.
+type DelayImpact = delayscale.Impact
+
+// WritePatterns and ReadPatterns serialize pattern sets in the repo's
+// STIL-flavored format.
+func WritePatterns(w io.Writer, sys *System, pats []Pattern) error {
+	return pattern.Write(w, sys.D, pats)
+}
+
+// ReadPatterns parses a pattern file against the system's design.
+func ReadPatterns(r io.Reader, sys *System) ([]Pattern, error) {
+	return pattern.Read(r, sys.D)
+}
+
+// WriteVerilog emits the design as structural Verilog.
+func WriteVerilog(w io.Writer, sys *System) error { return verilog.Write(w, sys.D) }
+
+// QualityReport grades detection-path delays (small-delay-defect
+// screening quality); produced by System.GradeDetections.
+type QualityReport = core.QualityReport
+
+// FunctionalPower is the mission-mode switching baseline; produced by
+// System.FunctionalPowerSim.
+type FunctionalPower = core.FunctionalPower
+
+// CompactPatterns applies reverse-order static compaction to a pattern
+// set, preserving its detected-fault coverage with fewer patterns. The
+// fault list must be freshly created (NewFaultList).
+func CompactPatterns(sys *System, l *FaultList, pats []Pattern, dom int) ([]Pattern, error) {
+	return atpg.CompactReverse(sys.FSim, l, pats, dom)
+}
+
+// FaultList tracks transition-fault statuses (see internal/fault).
+type FaultList = fault.List
+
+// Floorplan block indexes (the paper's B1..B6; B5 is the hot central
+// block) and the total block count.
+const (
+	B1 = soc.B1
+	B2 = soc.B2
+	B3 = soc.B3
+	B4 = soc.B4
+	B5 = soc.B5
+	B6 = soc.B6
+
+	NumBlocks = soc.NumBlocks
+)
+
+// BlockName returns the paper's name for a block index ("B1".."B6").
+func BlockName(b int) string { return soc.BlockName(b) }

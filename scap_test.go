@@ -1,0 +1,134 @@
+package scap
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"scap/internal/soc"
+)
+
+var (
+	fOnce sync.Once
+	fSys  *System
+	fErr  error
+)
+
+func facadeSystem(t *testing.T) *System {
+	t.Helper()
+	fOnce.Do(func() { fSys, fErr = Build(DefaultConfig(64)) })
+	if fErr != nil {
+		t.Fatal(fErr)
+	}
+	return fSys
+}
+
+// TestFacadeEndToEnd walks the documented public API surface.
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := facadeSystem(t)
+	stat, err := sys.Statistical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.HotBlock != soc.B5 {
+		t.Fatalf("hot block B%d", stat.HotBlock+1)
+	}
+	flow, err := sys.ConventionalFlow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sys.ProfilePatterns(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != len(flow.Patterns) {
+		t.Fatal("profile length mismatch")
+	}
+	above := AboveThreshold(prof, soc.B5, stat.ThresholdMW[soc.B5])
+	if above < 0 || above > len(prof) {
+		t.Fatal("implausible above count")
+	}
+	dyn, err := sys.DynamicIRDrop(&flow.Patterns[0], 0, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.STW <= 0 {
+		t.Fatal("no STW")
+	}
+}
+
+func TestFacadePatternIO(t *testing.T) {
+	sys := facadeSystem(t)
+	l := sys.NewFaultList()
+	res, err := sys.ATPG(l, ATPGOptions{Dom: 0, Fill: Fill0, Seed: 2, MaxPatterns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePatterns(&buf, sys, res.Patterns); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPatterns(bytes.NewReader(buf.Bytes()), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Patterns) {
+		t.Fatal("pattern round trip lost patterns")
+	}
+}
+
+func TestFacadeVerilog(t *testing.T) {
+	sys := facadeSystem(t)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "endmodule") {
+		t.Fatal("no module written")
+	}
+}
+
+func TestFacadeFTASAndScheduling(t *testing.T) {
+	sys := facadeSystem(t)
+	flow, err := sys.ConventionalFlow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, _, err := sys.DelayImpact(&flow.Patterns[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := FTASSweep(imp, sys.Period/2, sys.Period, sys.Period/10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) == 0 {
+		t.Fatal("empty sweep")
+	}
+
+	tests := []DomainTest{
+		{Name: "a", TimeUS: 100, PowerMW: 50},
+		{Name: "b", TimeUS: 80, PowerMW: 60},
+		{Name: "c", TimeUS: 60, PowerMW: 40},
+	}
+	ser := ScheduleSerial(tests)
+	gr, err := ScheduleGreedy(tests, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ScheduleOptimal(tests, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(opt.MakespanUS <= gr.MakespanUS && gr.MakespanUS <= ser.MakespanUS) {
+		t.Fatalf("ordering violated: %v %v %v", opt.MakespanUS, gr.MakespanUS, ser.MakespanUS)
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	// 11 paper experiments (tables 1-4, figures 1-7) plus 4 extensions.
+	if len(Experiments) != 15 {
+		t.Fatalf("want 15 experiments, have %d", len(Experiments))
+	}
+}
