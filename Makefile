@@ -1,12 +1,25 @@
 # Convenience targets for the scap reproduction.
 
-.PHONY: test bench repro flow cover fmt vet
+.PHONY: test test-race bench check repro flow cover fmt vet
 
 test:
 	go test ./...
 
+# Pre-PR gate: the worker-pool pipeline must be race-clean (see
+# DESIGN.md "Concurrency model").
+test-race:
+	go test -race ./...
+
+# One pass over every benchmark (compile + run each once); use
+# `go test -bench=. -benchmem ./...` for timed runs.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench . -benchtime 1x -run ^$$ ./...
+
+# CI-style tier-1 verify in one command.
+check:
+	go vet ./...
+	go build ./...
+	go test ./...
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

@@ -48,9 +48,22 @@ func benchRunner(b *testing.B) *repro.Runner {
 // benchExperiment measures one table/figure regeneration.
 func benchExperiment(b *testing.B, id string) {
 	r := benchRunner(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSetup measures the shared setup the experiment benches
+// hide inside bOnce: building the system and running the statistical
+// analysis. Allocation regressions in the build pipeline show up here.
+func BenchmarkRunnerSetup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.New(benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -285,4 +298,113 @@ func BenchmarkDynamicIRDrop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- parallel pipeline benches -------------------------------------------
+
+// benchProfilePatterns measures the whole-flow SCAP profiling loop at a
+// fixed worker count; Serial (1) vs Parallel (all cores) is the headline
+// speedup of the worker-pool pipeline.
+func benchProfilePatterns(b *testing.B, workers int) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	old := sys.Workers
+	sys.Workers = workers
+	defer func() { sys.Workers = old }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := sys.ProfilePatterns(conv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(prof)), "patterns")
+	}
+}
+
+func BenchmarkProfilePatternsSerial(b *testing.B)   { benchProfilePatterns(b, 1) }
+func BenchmarkProfilePatternsParallel(b *testing.B) { benchProfilePatterns(b, 0) }
+
+// BenchmarkDynamicIRDropAll measures the batched warm-started pipeline
+// over the whole conventional flow (serial vs all cores).
+func BenchmarkDynamicIRDropAll(b *testing.B) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			old := sys.Workers
+			sys.Workers = v.workers
+			defer func() { sys.Workers = old }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sums, err := sys.DynamicIRDropAll(conv, core.ModelSCAP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters := 0
+				for j := range sums {
+					iters += sums[j].IterVDD
+				}
+				b.ReportMetric(float64(iters)/float64(len(sums)), "sweeps/pattern")
+			}
+		})
+	}
+}
+
+// BenchmarkPgridWarmStart quantifies the warm-start win on the SOR
+// solver itself: the same slightly-perturbed injection solved cold vs
+// warm-started from the neighbouring solution.
+func BenchmarkPgridWarmStart(b *testing.B) {
+	r := benchRunner(b)
+	sys := r.Sys
+	cur := power.StatCurrents(sys.D, sys.Cfg.ToggleProb, sys.Period/2)
+	for i := range cur {
+		cur[i] /= 2
+	}
+	g := sys.GridVDD
+	inj := g.InjectInstCurrents(sys.D, cur)
+	base, err := g.Solve(inj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Perturb ~ the pattern-to-pattern variation of the dynamic flow.
+	inj2 := append([]float64(nil), inj...)
+	for i := range inj2 {
+		inj2[i] *= 1.05
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := g.Solve(inj2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sol.Iterations), "sweeps")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		var sol *pgrid.Solution
+		for i := 0; i < b.N; i++ {
+			var err error
+			sol, err = g.SolveWarm(inj2, base.Drop, sol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sol.Iterations), "sweeps")
+		}
+	})
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flow [-scale N] [-out dir]
+//	flow [-scale N] [-out dir] [-workers W]
 package main
 
 import (
@@ -27,13 +27,16 @@ import (
 func main() {
 	scale := flag.Int("scale", 8, "design scale divisor")
 	out := flag.String("out", "flow_out", "artifact directory")
+	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	t0 := time.Now()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		die(err)
 	}
-	sys, err := core.Build(core.DefaultConfig(*scale))
+	cfg := core.DefaultConfig(*scale)
+	cfg.Workers = *workers
+	sys, err := core.Build(cfg)
 	die(err)
 
 	write := func(name string, fn func(*os.File) error) {

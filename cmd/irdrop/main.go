@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	irdrop [-scale N] [-dynamic] [-pattern P] [-model CAP|SCAP] [-map]
+//	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W]
 package main
 
 import (
@@ -22,10 +22,13 @@ import (
 func main() {
 	scale := flag.Int("scale", 8, "design scale divisor")
 	dynamic := flag.Bool("dynamic", false, "run the dynamic per-pattern analysis too")
+	all := flag.Bool("all", false, "batch-solve IR drop for every pattern of the flow (worker pool + warm starts)")
+	mc := flag.Int("mc", 0, "Monte-Carlo statistical trials (0 = off)")
 	pattern := flag.Int("pattern", -1, "conventional-flow pattern to analyze (-1 = hottest)")
 	modelName := flag.String("model", "SCAP", "power model for the dynamic analysis: CAP | SCAP")
 	showMap := flag.Bool("map", false, "render the VDD drop heatmap")
 	doFTAS := flag.Bool("ftas", false, "run the faster-than-at-speed overkill sweep")
+	workers := flag.Int("workers", 0, "analysis workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	model := core.ModelSCAP
@@ -37,7 +40,9 @@ func main() {
 	}
 
 	t0 := time.Now()
-	sys, err := core.Build(core.DefaultConfig(*scale))
+	cfg := core.DefaultConfig(*scale)
+	cfg.Workers = *workers
+	sys, err := core.Build(cfg)
 	die(err)
 	stat, err := sys.Statistical()
 	die(err)
@@ -54,13 +59,50 @@ func main() {
 			stat.Case2.Power.Blocks[b].PowerVddMW, stat.Case2.WorstVDD[b])
 	}
 
-	if !*dynamic {
+	if *mc > 0 {
+		t1 := time.Now()
+		res, err := sys.MonteCarloIRDrop(*mc, sys.Cfg.Seed)
+		die(err)
+		fmt.Printf("\nMonte-Carlo statistical analysis: %d trials, half-cycle window (%v, mean %.1f SOR sweeps/trial):\n",
+			res.Trials, time.Since(t1).Round(time.Millisecond), res.MeanIters)
+		fmt.Printf("%-6s %10s %10s %10s\n", "block", "mean [V]", "p95 [V]", "max [V]")
+		for b := 0; b <= sys.D.NumBlocks; b++ {
+			name := "Chip"
+			if b < sys.D.NumBlocks {
+				name = soc.BlockName(b)
+			}
+			fmt.Printf("%-6s %10.3f %10.3f %10.3f\n", name, res.MeanVDD[b], res.P95VDD[b], res.MaxVDD[b])
+		}
+	}
+
+	if !*dynamic && !*all {
 		return
 	}
 	fr, err := sys.ConventionalFlow(0)
 	die(err)
 	prof, err := sys.ProfilePatterns(fr)
 	die(err)
+
+	if *all {
+		t1 := time.Now()
+		sums, err := sys.DynamicIRDropAll(fr, model)
+		die(err)
+		nb := sys.D.NumBlocks
+		worstP, iterSum := 0, 0
+		for i := range sums {
+			iterSum += sums[i].IterVDD
+			if sums[i].WorstVDD[nb] > sums[worstP].WorstVDD[nb] {
+				worstP = i
+			}
+		}
+		fmt.Printf("\nbatched %v-model analysis: %d patterns solved in %v (mean %.1f VDD sweeps/pattern, warm-started)\n",
+			model, len(sums), time.Since(t1).Round(time.Millisecond), float64(iterSum)/float64(len(sums)))
+		fmt.Printf("  worst pattern #%d: VDD %.3f V, VSS %.3f V (STW %.2f ns)\n",
+			worstP, sums[worstP].WorstVDD[nb], sums[worstP].WorstVSS[nb], sums[worstP].STW)
+	}
+	if !*dynamic {
+		return
+	}
 	pick := *pattern
 	if pick < 0 {
 		for i := range prof {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-scale N] [-exp id] [-list]
+//	repro [-scale N] [-exp id] [-list] [-workers W]
 //
 // With no -exp it runs every experiment (table1..table4, fig1..fig7) and
 // prints the combined report; -scale selects the design scale divisor
@@ -24,6 +24,7 @@ func main() {
 	scale := flag.Int("scale", 4, "design scale divisor (1 = paper size)")
 	exp := flag.String("exp", "", "experiment id ("+strings.Join(repro.Experiments, ", ")+"); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -33,7 +34,7 @@ func main() {
 		return
 	}
 	t0 := time.Now()
-	r, err := repro.New(*scale)
+	r, err := repro.NewWorkers(*scale, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)

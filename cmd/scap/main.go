@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scap [-scale N] [-flow conventional|new] [-block B5] [-top K] [-plot]
+//	scap [-scale N] [-flow conventional|new] [-block B5] [-top K] [-plot] [-workers W]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 	top := flag.Int("top", 10, "print the K hottest patterns")
 	plot := flag.Bool("plot", false, "render the SCAP scatter plot")
 	waveform := flag.Bool("waveform", false, "render the hottest pattern's instantaneous power waveform")
+	workers := flag.Int("workers", 0, "pattern-profiling workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	block := -1
@@ -43,7 +44,9 @@ func main() {
 	}
 
 	t0 := time.Now()
-	sys, err := core.Build(core.DefaultConfig(*scale))
+	cfg := core.DefaultConfig(*scale)
+	cfg.Workers = *workers
+	sys, err := core.Build(cfg)
 	die(err)
 	stat, err := sys.Statistical()
 	die(err)

@@ -5,6 +5,7 @@ import (
 
 	"scap/internal/atpg"
 	"scap/internal/delayscale"
+	"scap/internal/parallel"
 	"scap/internal/pgrid"
 	"scap/internal/power"
 	"scap/internal/sim"
@@ -72,6 +73,105 @@ func (sys *System) DynamicIRDrop(p *atpg.Pattern, dom int, model PowerModel) (*D
 		return nil, err
 	}
 	if out.SolVSS, out.WorstVSS, err = solve(sys.GridVSS, prof.InstEnergyVSS); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IRDropSummary is one pattern's result from the batched dynamic
+// analysis: the worst node drop per block (chip entry at index
+// NumBlocks) on each rail, volts, plus the SOR effort that produced it.
+// The full node-by-node maps of DynamicIR are deliberately not kept —
+// screening a whole pattern set only consumes the per-block extremes,
+// and dropping the maps is what lets each worker recycle its solver
+// buffers.
+type IRDropSummary struct {
+	Index            int
+	Model            PowerModel
+	STW              float64
+	WorstVDD         []float64
+	WorstVSS         []float64
+	IterVDD, IterVSS int
+}
+
+// irScratch is one worker's solver state for DynamicIRDropAll: reusable
+// current/injection vectors and a recycled Solution per rail.
+type irScratch struct {
+	cur, inj       []float64
+	solVDD, solVSS *pgrid.Solution
+}
+
+// DynamicIRDropAll runs the dynamic per-pattern IR-drop analysis over a
+// whole flow, fanned across sys.Workers workers (0 = all cores, 1 = the
+// exact serial path). Pattern 0 is solved cold first and its rail
+// solutions become the shared warm-start guess for every remaining
+// pattern — per-pattern injections resemble each other, so SOR
+// converges in a fraction of the cold iteration count, and because the
+// guess is the same for every pattern the results are identical for any
+// worker count (each solve still runs to the grid's own tolerance).
+func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropSummary, error) {
+	n := len(fr.Patterns)
+	out := make([]IRDropSummary, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := parallel.Resolve(sys.Workers)
+	if workers > n {
+		workers = n
+	}
+	pool := sys.profPool(workers)
+	scratch := make([]irScratch, workers)
+
+	// eval simulates pattern i on worker w's scratch and solves both
+	// rails warm-started from the given guesses (nil = cold).
+	eval := func(w, i int, warmVDD, warmVSS []float64) error {
+		p := &fr.Patterns[i]
+		ps, sc := &pool[w], &scratch[w]
+		ps.meter.Reset()
+		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
+		res, err := ps.tm.Launch(p.V1, v2, p.PIs, sys.Period, ps.meter.OnToggle)
+		if err != nil {
+			return fmt.Errorf("core: dynamic sim pattern %d: %w", i, err)
+		}
+		window := sys.Period
+		if model == ModelSCAP {
+			window = res.STW
+		}
+		sum := &out[i]
+		sum.Index, sum.Model, sum.STW = i, model, res.STW
+
+		solve := func(g *pgrid.Grid, energy, warm []float64, reuse *pgrid.Solution) (*pgrid.Solution, []float64, error) {
+			sc.cur = power.InstCurrentsInto(sc.cur, sys.D, energy, window)
+			sc.inj = g.InjectInstCurrentsInto(sc.inj, sys.D, sc.cur)
+			sol, err := g.SolveWarm(sc.inj, warm, reuse)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: dynamic solve pattern %d: %w", i, err)
+			}
+			return sol, sol.WorstPerBlock(g, sys.D.NumBlocks), nil
+		}
+		var sol *pgrid.Solution
+		if sol, sum.WorstVDD, err = solve(sys.GridVDD, ps.meter.RawInstEnergyVDD(), warmVDD, sc.solVDD); err != nil {
+			return err
+		}
+		sc.solVDD, sum.IterVDD = sol, sol.Iterations
+		if sol, sum.WorstVSS, err = solve(sys.GridVSS, ps.meter.RawInstEnergyVSS(), warmVSS, sc.solVSS); err != nil {
+			return err
+		}
+		sc.solVSS, sum.IterVSS = sol, sol.Iterations
+		return nil
+	}
+
+	// Cold baseline: pattern 0 on worker 0, then copy its drops out of
+	// the recyclable scratch as the shared read-only warm guess.
+	if err := eval(0, 0, nil, nil); err != nil {
+		return nil, err
+	}
+	warmVDD := append([]float64(nil), scratch[0].solVDD.Drop...)
+	warmVSS := append([]float64(nil), scratch[0].solVSS.Drop...)
+	err := parallel.For(workers, n-1, func(w, i int) error {
+		return eval(w, i+1, warmVDD, warmVSS)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 
 	"scap/internal/atpg"
 	"scap/internal/fault"
+	"scap/internal/parallel"
 	"scap/internal/power"
 	"scap/internal/sim"
 	"scap/internal/soc"
@@ -148,33 +149,66 @@ type PatternProfile struct {
 	BlockSCAPVdd []float64
 }
 
+// profScratch is one worker's simulator state for the per-pattern
+// analysis loops: a meter and timing simulator nothing else touches.
+type profScratch struct {
+	meter *power.Meter
+	tm    *sim.Timing
+}
+
+// profPool builds one scratch state per worker. The first is constructed
+// from the design; the rest clone it, sharing only immutable tables.
+func (sys *System) profPool(workers int) []profScratch {
+	pool := make([]profScratch, workers)
+	pool[0] = profScratch{
+		meter: power.NewMeter(sys.D),
+		tm:    sim.NewTiming(sys.Sim, sys.Delays, sys.Tree),
+	}
+	for w := 1; w < workers; w++ {
+		pool[w] = profScratch{meter: pool[0].meter.Clone(), tm: pool[0].tm.Clone()}
+	}
+	return pool
+}
+
 // ProfilePatterns runs the streaming SCAP calculator (timing simulation +
 // power meter) over a whole pattern set and returns one summary per
-// pattern.
+// pattern. The patterns are independent, so the loop fans out across
+// sys.Workers workers (0 = all cores, 1 = the exact serial path), each
+// owning a cloned meter and timing simulator; every pattern writes only
+// its own slot, so the output is identical for any worker count.
 func (sys *System) ProfilePatterns(fr *FlowResult) ([]PatternProfile, error) {
-	meter := power.NewMeter(sys.D)
-	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	workers := parallel.Resolve(sys.Workers)
+	if workers > len(fr.Patterns) && len(fr.Patterns) > 0 {
+		workers = len(fr.Patterns)
+	}
+	pool := sys.profPool(workers)
 	out := make([]PatternProfile, len(fr.Patterns))
-	for i := range fr.Patterns {
+	err := parallel.For(workers, len(fr.Patterns), func(w, i int) error {
 		p := &fr.Patterns[i]
-		meter.Reset()
+		s := &pool[w]
+		s.meter.Reset()
 		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
-		res, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle)
+		res, err := s.tm.Launch(p.V1, v2, p.PIs, sys.Period, s.meter.OnToggle)
 		if err != nil {
-			return nil, fmt.Errorf("core: profile pattern %d: %w", i, err)
+			return fmt.Errorf("core: profile pattern %d: %w", i, err)
 		}
-		prof := meter.Report(sys.Period)
+		blocks := s.meter.ReportBlocks(sys.Period)
+		chip := &blocks[sys.D.NumBlocks]
 		pp := &out[i]
 		pp.Index, pp.Target, pp.Step = i, p.Target, p.Step
 		pp.TargetBlock = fr.Faults.Faults[p.Target].Block
 		pp.STW = res.STW
 		pp.Toggles = res.Toggles
-		pp.ChipSCAPVdd = prof.Chip().SCAPVdd
-		pp.ChipCAPVdd = prof.Chip().CAPVdd
+		pp.ChipSCAPVdd = chip.SCAPVdd
+		pp.ChipCAPVdd = chip.CAPVdd
 		pp.BlockSCAPVdd = make([]float64, sys.D.NumBlocks)
 		for b := 0; b < sys.D.NumBlocks; b++ {
-			pp.BlockSCAPVdd[b] = prof.Block(b).SCAPVdd
+			pp.BlockSCAPVdd[b] = blocks[b].SCAPVdd
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"scap/internal/soc"
+)
+
+// setWorkers temporarily overrides the shared system's worker knob.
+func setWorkers(t *testing.T, sys *System, n int) {
+	t.Helper()
+	old := sys.Workers
+	sys.Workers = n
+	t.Cleanup(func() { sys.Workers = old })
+}
+
+// TestProfilePatternsDeterministicAcrossWorkers is the concurrency
+// contract: the parallel profiling pipeline must produce field-by-field
+// identical results for any worker count (run under -race via the
+// Makefile's test-race gate).
+func TestProfilePatternsDeterministicAcrossWorkers(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	setWorkers(t, sys, 1)
+	serial, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Workers = 8
+	par, err := sys.ProfilePatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("length %d vs %d", len(par), len(serial))
+	}
+	for i := range serial {
+		s, p := &serial[i], &par[i]
+		if s.Index != p.Index || s.Target != p.Target || s.TargetBlock != p.TargetBlock ||
+			s.Step != p.Step || s.Toggles != p.Toggles {
+			t.Fatalf("pattern %d: integer fields differ: %+v vs %+v", i, s, p)
+		}
+		if s.STW != p.STW || s.ChipSCAPVdd != p.ChipSCAPVdd || s.ChipCAPVdd != p.ChipCAPVdd {
+			t.Fatalf("pattern %d: scalar fields differ: %+v vs %+v", i, s, p)
+		}
+		if len(s.BlockSCAPVdd) != len(p.BlockSCAPVdd) {
+			t.Fatalf("pattern %d: block slice length", i)
+		}
+		for b := range s.BlockSCAPVdd {
+			if s.BlockSCAPVdd[b] != p.BlockSCAPVdd[b] {
+				t.Fatalf("pattern %d block %d: %v vs %v", i, b, s.BlockSCAPVdd[b], p.BlockSCAPVdd[b])
+			}
+		}
+	}
+}
+
+// TestDynamicIRDropAllDeterministicAcrossWorkers: every pattern past the
+// first warm-starts from the same baseline guess, so the batched
+// analysis is also bit-identical for any worker count.
+func TestDynamicIRDropAllDeterministicAcrossWorkers(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	setWorkers(t, sys, 1)
+	serial, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Workers = 8
+	par, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) || len(serial) != len(conv.Patterns) {
+		t.Fatalf("lengths %d / %d / %d", len(par), len(serial), len(conv.Patterns))
+	}
+	for i := range serial {
+		s, p := &serial[i], &par[i]
+		if s.Index != p.Index || s.STW != p.STW || s.IterVDD != p.IterVDD || s.IterVSS != p.IterVSS {
+			t.Fatalf("pattern %d: %+v vs %+v", i, s, p)
+		}
+		for b := range s.WorstVDD {
+			if s.WorstVDD[b] != p.WorstVDD[b] || s.WorstVSS[b] != p.WorstVSS[b] {
+				t.Fatalf("pattern %d block %d: VDD %v/%v VSS %v/%v",
+					i, b, s.WorstVDD[b], p.WorstVDD[b], s.WorstVSS[b], p.WorstVSS[b])
+			}
+		}
+	}
+}
+
+// TestDynamicIRDropAllMatchesSingle: the batched path must agree with
+// the one-pattern API — exactly on the cold-solved first pattern, to
+// solver tolerance on the warm-started rest.
+func TestDynamicIRDropAllMatchesSingle(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	all, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := sys.D.NumBlocks
+	check := []int{0, len(conv.Patterns) / 2, len(conv.Patterns) - 1}
+	for _, i := range check {
+		single, err := sys.DynamicIRDrop(&conv.Patterns[i], 0, ModelSCAP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[i].STW != single.STW {
+			t.Fatalf("pattern %d: STW %v vs %v", i, all[i].STW, single.STW)
+		}
+		tol := 1e-4
+		if i == 0 {
+			tol = 0 // same cold solve, bit-identical
+		}
+		for b := 0; b <= nb; b++ {
+			if d := math.Abs(all[i].WorstVDD[b] - single.WorstVDD[b]); d > tol {
+				t.Fatalf("pattern %d block %d: VDD %v vs %v", i, b, all[i].WorstVDD[b], single.WorstVDD[b])
+			}
+			if d := math.Abs(all[i].WorstVSS[b] - single.WorstVSS[b]); d > tol {
+				t.Fatalf("pattern %d block %d: VSS %v vs %v", i, b, all[i].WorstVSS[b], single.WorstVSS[b])
+			}
+		}
+	}
+	// The warm start must actually pay: later patterns should converge
+	// in fewer sweeps than the cold first solve on average.
+	if len(all) > 2 {
+		warmSum, n := 0, 0
+		for _, s := range all[1:] {
+			warmSum += s.IterVDD
+			n++
+		}
+		if mean := float64(warmSum) / float64(n); mean >= float64(all[0].IterVDD) {
+			t.Fatalf("warm-started mean %v sweeps not below cold %d", mean, all[0].IterVDD)
+		}
+	}
+}
+
+// TestMonteCarloIRDrop: determinism across worker counts, envelope
+// ordering, and agreement in magnitude with the deterministic Case-2
+// analysis it refines.
+func TestMonteCarloIRDrop(t *testing.T) {
+	sys, stat, _, _ := build(t)
+	const trials = 24
+	setWorkers(t, sys, 1)
+	serial, err := sys.MonteCarloIRDrop(trials, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Workers = 8
+	par, err := sys.MonteCarloIRDrop(trials, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := sys.D.NumBlocks
+	for b := 0; b <= nb; b++ {
+		if serial.MeanVDD[b] != par.MeanVDD[b] || serial.P95VDD[b] != par.P95VDD[b] ||
+			serial.MaxVDD[b] != par.MaxVDD[b] {
+			t.Fatalf("block %d: MC stats differ across worker counts", b)
+		}
+		if serial.MeanVDD[b] < 0 || serial.P95VDD[b] < serial.MeanVDD[b]*0.5 ||
+			serial.MaxVDD[b] < serial.P95VDD[b] {
+			t.Fatalf("block %d: envelope ordering broken: mean %v p95 %v max %v",
+				b, serial.MeanVDD[b], serial.P95VDD[b], serial.MaxVDD[b])
+		}
+	}
+	// B5 stays the hot block under sampling, and the MC mean lands in the
+	// same magnitude as the deterministic Case-2 worst drop.
+	if serial.MeanVDD[soc.B5] <= 0 {
+		t.Fatal("no B5 drop")
+	}
+	det := stat.Case2.WorstVDD[soc.B5]
+	if m := serial.MeanVDD[soc.B5]; m < det/3 || m > det*3 {
+		t.Fatalf("MC mean B5 drop %v far from deterministic %v", m, det)
+	}
+	if _, err := sys.MonteCarloIRDrop(0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

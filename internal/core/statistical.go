@@ -2,7 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
+	"scap/internal/netlist"
+	"scap/internal/parallel"
 	"scap/internal/pgrid"
 	"scap/internal/power"
 )
@@ -69,19 +73,145 @@ func (sys *System) statCase(windowNs float64) (*StatCase, error) {
 	for i := range cur {
 		cur[i] /= 2
 	}
-	solve := func(g *pgrid.Grid) ([]float64, error) {
+	// The two rail solves are independent; fan them across the pool
+	// (cur is shared read-only, each rail writes its own slot).
+	grids := [2]*pgrid.Grid{sys.GridVDD, sys.GridVSS}
+	var worst [2][]float64
+	err := parallel.For(sys.Workers, 2, func(_, r int) error {
+		g := grids[r]
 		sol, err := g.Solve(g.InjectInstCurrents(d, cur))
 		if err != nil {
-			return nil, fmt.Errorf("core: statistical solve: %w", err)
+			return fmt.Errorf("core: statistical solve: %w", err)
 		}
-		return sol.WorstPerBlock(g, d.NumBlocks), nil
-	}
-	var err error
-	if c.WorstVDD, err = solve(sys.GridVDD); err != nil {
+		worst[r] = sol.WorstPerBlock(g, d.NumBlocks)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if c.WorstVSS, err = solve(sys.GridVSS); err != nil {
-		return nil, err
-	}
+	c.WorstVDD, c.WorstVSS = worst[0], worst[1]
 	return c, nil
+}
+
+// MCResult aggregates the Monte-Carlo refinement of the vector-less
+// analysis: instead of one expected-current solve, each trial draws a
+// Bernoulli toggle realization per instance at the configured toggle
+// probability (a rising edge with half that probability — the VDD-rail
+// share), solves the VDD mesh, and the per-block worst drops are
+// reduced to mean / 95th-percentile / max envelopes. The expected value
+// of a trial's injection equals the Case-2 deterministic injection, so
+// the mean envelope brackets Table 3 while the tail quantifies how much
+// worse an unlucky cycle can be.
+type MCResult struct {
+	Trials     int
+	WindowNs   float64
+	ToggleProb float64
+	// MeanVDD, P95VDD and MaxVDD hold the per-block (+chip, index
+	// NumBlocks) statistics of the worst VDD-rail node drop, volts.
+	MeanVDD, P95VDD, MaxVDD []float64
+	// MeanIters is the mean SOR sweep count per trial — warm-starting
+	// from the deterministic baseline keeps it far below a cold solve.
+	MeanIters float64
+}
+
+// MonteCarloIRDrop runs the Monte-Carlo loop over the Case-2 (half
+// cycle) window. Trials are independent, so they fan out across
+// sys.Workers workers; each trial seeds its own PRNG from (seed, trial)
+// and warm-starts from the shared deterministic baseline solution, so
+// the result is identical for any worker count.
+func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive")
+	}
+	d := sys.D
+	window := sys.Period / 2
+	prob := sys.Cfg.ToggleProb
+
+	// fullCur[i] is instance i's VDD-rail current when it toggles with a
+	// rising edge this cycle: C·VDD²/(VDD·window), in mA.
+	fullCur := make([]float64, d.NumInsts())
+	for i := range fullCur {
+		fullCur[i] = d.LoadCap(netlist.InstID(i)) * d.Lib.VDD / window * 1e-3
+	}
+
+	// Deterministic warm-start baseline: the expected injection (the
+	// Case-2 VDD solve of the Statistical analysis).
+	exp := power.StatCurrents(d, prob, window)
+	for i := range exp {
+		exp[i] /= 2
+	}
+	g := sys.GridVDD
+	base, err := g.Solve(g.InjectInstCurrents(d, exp))
+	if err != nil {
+		return nil, fmt.Errorf("core: MC baseline: %w", err)
+	}
+
+	workers := parallel.Resolve(sys.Workers)
+	if workers > trials {
+		workers = trials
+	}
+	type mcScratch struct {
+		cur, inj []float64
+		sol      *pgrid.Solution
+	}
+	scratch := make([]mcScratch, workers)
+	perTrial := make([][]float64, trials)
+	iters := make([]int, trials)
+	err = parallel.For(workers, trials, func(w, t int) error {
+		sc := &scratch[w]
+		if sc.cur == nil {
+			sc.cur = make([]float64, d.NumInsts())
+		}
+		rng := rand.New(rand.NewSource(seed + int64(t)*7919))
+		for i := range sc.cur {
+			if rng.Float64() < prob/2 { // toggles AND rises
+				sc.cur[i] = fullCur[i]
+			} else {
+				sc.cur[i] = 0
+			}
+		}
+		sc.inj = g.InjectInstCurrentsInto(sc.inj, d, sc.cur)
+		sol, err := g.SolveWarm(sc.inj, base.Drop, sc.sol)
+		if err != nil {
+			return fmt.Errorf("core: MC trial %d: %w", t, err)
+		}
+		sc.sol = sol
+		perTrial[t] = sol.WorstPerBlock(g, d.NumBlocks)
+		iters[t] = sol.Iterations
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nb := d.NumBlocks + 1
+	res := &MCResult{
+		Trials: trials, WindowNs: window, ToggleProb: prob,
+		MeanVDD: make([]float64, nb),
+		P95VDD:  make([]float64, nb),
+		MaxVDD:  make([]float64, nb),
+	}
+	vals := make([]float64, trials)
+	for b := 0; b < nb; b++ {
+		for t := range perTrial {
+			v := perTrial[t][b]
+			vals[t] = v
+			res.MeanVDD[b] += v
+			if v > res.MaxVDD[b] {
+				res.MaxVDD[b] = v
+			}
+		}
+		res.MeanVDD[b] /= float64(trials)
+		sort.Float64s(vals)
+		idx := (95*trials - 1) / 100
+		if idx >= trials {
+			idx = trials - 1
+		}
+		res.P95VDD[b] = vals[idx]
+	}
+	for _, it := range iters {
+		res.MeanIters += float64(it)
+	}
+	res.MeanIters /= float64(trials)
+	return res, nil
 }

@@ -53,6 +53,13 @@ type Config struct {
 
 	// Seed drives placement, clock jitter and ATPG tie-breaking.
 	Seed int64
+
+	// Workers sizes the worker pool of the per-pattern analysis layers
+	// (ProfilePatterns, DynamicIRDropAll, MonteCarloIRDrop): 0 means all
+	// cores, 1 forces the exact serial path. Results are deterministic
+	// for any value — workers only own scratch state and write
+	// index-addressed outputs.
+	Workers int
 }
 
 // DefaultConfig returns the full experiment configuration at the given SOC
@@ -90,6 +97,10 @@ type System struct {
 
 	// Period is the at-speed test clock period (ns).
 	Period float64
+
+	// Workers mirrors Config.Workers and may be changed between calls
+	// (0 = all cores, 1 = exact serial path).
+	Workers int
 }
 
 // Build constructs the complete system.
@@ -120,9 +131,10 @@ func Build(cfg Config) (*System, error) {
 	sys := &System{
 		Cfg: cfg, D: d, Plan: plan, FP: fp, SC: sc,
 		Sim: s, FSim: fs,
-		Tree:   clocktree.Build(d, fp, cfg.Clock, cfg.Seed+1),
-		Delays: sdf.Compute(d),
-		Period: cfg.SOC.TestPeriodNs,
+		Tree:    clocktree.Build(d, fp, cfg.Clock, cfg.Seed+1),
+		Delays:  sdf.Compute(d),
+		Period:  cfg.SOC.TestPeriodNs,
+		Workers: cfg.Workers,
 	}
 	if err := sys.buildGrids(); err != nil {
 		return nil, err

@@ -1,0 +1,95 @@
+// Package parallel provides the worker-pool primitive the per-pattern
+// analysis layers fan out on: thousands of independent pattern
+// evaluations (timing simulation + SCAP accounting, per-pattern grid
+// solves, Monte-Carlo trials) dealt across GOMAXPROCS workers.
+//
+// The concurrency contract is deliberately narrow so results stay
+// deterministic for any worker count:
+//
+//   - every worker owns its scratch state (cloned simulator, meter,
+//     solver buffers), identified by the worker id passed to the body;
+//   - the body writes only into index-addressed slots of pre-sized
+//     output slices, never into shared accumulators;
+//   - Workers == 1 runs the body inline on the caller's goroutine —
+//     the exact serial path, with no pool machinery at all.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers knob: any value <= 0 means "all cores"
+// (runtime.GOMAXPROCS), 1 forces the exact serial path, larger values
+// are taken as-is.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// For runs body(worker, i) once for every i in [0, n), fanned across
+// Resolve(workers) goroutines. Worker ids are dense in
+// [0, min(workers, n)), so callers can pre-build one scratch state per
+// worker and index it by id. Indices are dealt from a shared counter,
+// so the i handled by a given worker is scheduling-dependent — bodies
+// must treat the worker id as "which scratch state" only, never as a
+// partition of the data.
+//
+// On error the pool drains: workers stop taking new indices, and the
+// error with the smallest index among those that failed is returned
+// (matching what the serial path would have surfaced first). With
+// workers resolved to 1, For degenerates to a plain loop with
+// fail-fast semantics.
+func For(workers, n int, body func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := body(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := body(w, i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -137,7 +137,20 @@ func (g *Grid) NodeXY(node int) (float64, float64) {
 // InjectInstCurrents maps per-instance currents (mA, indexed by InstID)
 // onto mesh nodes, returning the per-node injection vector.
 func (g *Grid) InjectInstCurrents(d *netlist.Design, cur []float64) []float64 {
-	inj := make([]float64, g.P.N*g.P.N)
+	return g.InjectInstCurrentsInto(nil, d, cur)
+}
+
+// InjectInstCurrentsInto is InjectInstCurrents accumulating into a
+// reusable per-node buffer (grown if needed, zeroed, returned) so the
+// per-pattern pipeline does not allocate N² floats per solve.
+func (g *Grid) InjectInstCurrentsInto(inj []float64, d *netlist.Design, cur []float64) []float64 {
+	if len(inj) != g.P.N*g.P.N {
+		inj = make([]float64, g.P.N*g.P.N)
+	} else {
+		for i := range inj {
+			inj[i] = 0
+		}
+	}
 	for i := range d.Insts {
 		if cur[i] == 0 {
 			continue
@@ -158,16 +171,56 @@ type Solution struct {
 
 // Solve computes node voltage drops for a per-node current injection (mA).
 // The mesh conductances are in 1/Ω, so the raw solution is in mV and is
-// converted to volts.
+// converted to volts. Every call starts SOR from a zero guess; the
+// per-pattern pipelines use SolveWarm instead.
 func (g *Grid) Solve(injMA []float64) (*Solution, error) {
+	return g.SolveWarm(injMA, nil, nil)
+}
+
+// SolveWarm is Solve with two reuse hooks for the per-pattern hot loop:
+//
+//   - warm, when non-nil, is an initial voltage guess in volts (a
+//     previous Solution.Drop for a similar injection). Successive
+//     per-pattern injections resemble each other, so warm-starting cuts
+//     the SOR iteration count sharply. Warm may alias reuse.Drop —
+//     warm-starting a solve in its own buffer is the intended use.
+//   - reuse, when non-nil, is a Solution whose Drop buffer is recycled
+//     instead of allocating N² floats per call (per-worker scratch).
+//
+// The solve runs to the same Tol for any guess, so a warm-started
+// solution agrees with the cold one to solver tolerance. An
+// already-converged guess costs exactly one verification sweep
+// (Iterations == 1): the convergence scan and the final mV→V
+// conversion with its worst-drop pass live outside the iteration path.
+func (g *Grid) SolveWarm(injMA, warm []float64, reuse *Solution) (*Solution, error) {
 	n := g.P.N
 	if len(injMA) != n*n {
 		return nil, fmt.Errorf("pgrid: injection length %d, want %d", len(injMA), n*n)
 	}
-	gseg := 1 / g.P.SegRes
-	v := make([]float64, n*n)
-	sol := &Solution{N: n, Drop: v}
+	if warm != nil && len(warm) != n*n {
+		return nil, fmt.Errorf("pgrid: warm-start length %d, want %d", len(warm), n*n)
+	}
+	sol := reuse
+	if sol == nil || cap(sol.Drop) < n*n {
+		sol = &Solution{Drop: make([]float64, n*n)}
+	}
+	sol.N = n
+	sol.Drop = sol.Drop[:n*n]
+	sol.Iterations = 0
+	sol.Worst = 0
+	v := sol.Drop
+	if warm != nil {
+		for i := range v {
+			v[i] = warm[i] * 1e3 // V -> mV (the sweep works in mV)
+		}
+	} else {
+		for i := range v {
+			v[i] = 0
+		}
+	}
 
+	gseg := 1 / g.P.SegRes
+	converged := false
 	for iter := 1; iter <= g.P.MaxIter; iter++ {
 		maxDelta := 0.0
 		for iy := 0; iy < n; iy++ {
@@ -201,16 +254,20 @@ func (g *Grid) Solve(injMA []float64) (*Solution, error) {
 		}
 		sol.Iterations = iter
 		if maxDelta*1e-3 < g.P.Tol { // mV -> V
-			for i := range v {
-				v[i] *= 1e-3 // mV -> V
-				if v[i] > sol.Worst {
-					sol.Worst = v[i]
-				}
-			}
-			return sol, nil
+			converged = true
+			break
 		}
 	}
-	return nil, fmt.Errorf("pgrid: SOR did not converge in %d iterations", g.P.MaxIter)
+	if !converged {
+		return nil, fmt.Errorf("pgrid: SOR did not converge in %d iterations", g.P.MaxIter)
+	}
+	for i := range v {
+		v[i] *= 1e-3 // mV -> V
+		if v[i] > sol.Worst {
+			sol.Worst = v[i]
+		}
+	}
+	return sol, nil
 }
 
 // At samples the solved drop at a die location (nearest node).

@@ -241,3 +241,118 @@ func TestDirectValidation(t *testing.T) {
 		t.Fatal("oversized direct solve accepted")
 	}
 }
+
+// TestSolveWarmMatchesCold: warm-starting from a neighbouring solution
+// must converge to the same drops (to solver tolerance) in fewer sweeps.
+func TestSolveWarmMatchesCold(t *testing.T) {
+	g, fp := grid(t)
+	inj := make([]float64, g.P.N*g.P.N)
+	inj[g.NodeOf(fp.W/2, fp.H/2)] = 40
+	inj[g.NodeOf(fp.W/4, fp.H/3)] = 15
+	cold, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the injection slightly: the per-pattern regime.
+	inj[g.NodeOf(fp.W/2, fp.H/2)] = 42
+	cold2, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := g.SolveWarm(inj, cold.Drop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations >= cold2.Iterations {
+		t.Fatalf("warm start took %d iterations, cold %d", warm.Iterations, cold2.Iterations)
+	}
+	for i := range warm.Drop {
+		if diff := math.Abs(warm.Drop[i] - cold2.Drop[i]); diff > 1e-4 {
+			t.Fatalf("node %d: warm %v vs cold %v", i, warm.Drop[i], cold2.Drop[i])
+		}
+	}
+	if math.Abs(warm.Worst-cold2.Worst) > 1e-4 {
+		t.Fatalf("worst: warm %v vs cold %v", warm.Worst, cold2.Worst)
+	}
+}
+
+// TestSolveWarmInPlace: warm may alias reuse.Drop (re-solving in the
+// previous solution's own buffer), and a converged guess costs exactly
+// one verification sweep.
+func TestSolveWarmInPlace(t *testing.T) {
+	g, fp := grid(t)
+	inj := make([]float64, g.P.N*g.P.N)
+	inj[g.NodeOf(fp.W/2, fp.H/2)] = 40
+	sol, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIters := sol.Iterations
+	buf := sol.Drop
+	again, err := g.SolveWarm(inj, sol.Drop, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sol {
+		t.Fatal("reuse Solution not returned")
+	}
+	if &again.Drop[0] != &buf[0] {
+		t.Fatal("Drop buffer was reallocated")
+	}
+	if again.Iterations != 1 {
+		t.Fatalf("re-solving a converged solution took %d sweeps, want 1", again.Iterations)
+	}
+	if again.Iterations >= coldIters {
+		t.Fatalf("warm %d not below cold %d", again.Iterations, coldIters)
+	}
+	if again.Worst <= 0 {
+		t.Fatal("worst lost on reuse")
+	}
+}
+
+func TestSolveWarmValidation(t *testing.T) {
+	g, _ := grid(t)
+	inj := make([]float64, g.P.N*g.P.N)
+	if _, err := g.SolveWarm(inj, make([]float64, 3), nil); err == nil {
+		t.Fatal("bad warm length accepted")
+	}
+	// Undersized reuse buffer must be replaced, not indexed out of range.
+	small := &Solution{Drop: make([]float64, 4)}
+	sol, err := g.SolveWarm(inj, nil, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Drop) != g.P.N*g.P.N {
+		t.Fatalf("reuse solution has %d nodes", len(sol.Drop))
+	}
+}
+
+func TestInjectInstCurrentsInto(t *testing.T) {
+	d, _, err := soc.Generate(soc.DefaultConfig(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := place.Place(d, 1)
+	if _, err := parasitic.Extract(d, fp, parasitic.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := power.StatCurrents(d, 0.3, 10)
+	want := g.InjectInstCurrents(d, cur)
+	buf := make([]float64, g.P.N*g.P.N)
+	for i := range buf {
+		buf[i] = 99 // stale content must be cleared
+	}
+	got := g.InjectInstCurrentsInto(buf, d, cur)
+	if &got[0] != &buf[0] {
+		t.Fatal("buffer not reused")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}

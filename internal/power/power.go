@@ -126,17 +126,42 @@ func NewMeter(d *netlist.Design) *Meter {
 	return m
 }
 
-// Reset clears the accumulated pattern.
+// Clone returns a fresh, reset meter for the same design. The
+// per-instance capacitance table is immutable after NewMeter and stays
+// shared, so cloning skips the O(instances) LoadCap pass — the cheap
+// per-worker constructor path of the parallel profiling pipeline.
+func (m *Meter) Clone() *Meter {
+	c := &Meter{d: m.d, vdd2: m.vdd2, capOf: m.capOf, binNs: m.binNs}
+	c.Reset()
+	return c
+}
+
+// Reset clears the accumulated pattern, reusing the accumulator buffers:
+// the meter sits in a per-pattern hot loop, and Report already copies
+// everything that escapes.
 func (m *Meter) Reset() {
-	m.instEnergy = make([]float64, m.d.NumInsts())
-	m.instEnergyVDD = make([]float64, m.d.NumInsts())
-	m.instEnergyVSS = make([]float64, m.d.NumInsts())
-	m.blocks = make([]BlockPower, m.d.NumBlocks+1)
+	m.instEnergy = resetF(m.instEnergy, m.d.NumInsts())
+	m.instEnergyVDD = resetF(m.instEnergyVDD, m.d.NumInsts())
+	m.instEnergyVSS = resetF(m.instEnergyVSS, m.d.NumInsts())
+	if m.blocks == nil {
+		m.blocks = make([]BlockPower, m.d.NumBlocks+1)
+	}
 	for i := range m.blocks {
-		m.blocks[i].Block = i
-		m.blocks[i].First = -1
+		m.blocks[i] = BlockPower{Block: i, First: -1}
 	}
 	m.bins = m.bins[:0]
+}
+
+// resetF returns a zeroed float slice of length n, reusing s's storage
+// when it is already the right size.
+func resetF(s []float64, n int) []float64 {
+	if len(s) != n {
+		return make([]float64, n)
+	}
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // OnToggle records one output transition; it has the sim.ToggleFn shape.
@@ -173,16 +198,24 @@ func (m *Meter) OnToggle(inst netlist.InstID, t float64, rising bool) {
 // Report finalizes the pattern at tester period T (ns) and returns the
 // profile. The meter keeps accumulating until Reset.
 func (m *Meter) Report(period float64) *Profile {
-	p := &Profile{
+	return &Profile{
 		Period:        period,
-		Blocks:        make([]BlockPower, len(m.blocks)),
+		Blocks:        m.ReportBlocks(period),
 		InstEnergy:    append([]float64(nil), m.instEnergy...),
 		InstEnergyVDD: append([]float64(nil), m.instEnergyVDD...),
 		InstEnergyVSS: append([]float64(nil), m.instEnergyVSS...),
 	}
-	copy(p.Blocks, m.blocks)
-	for i := range p.Blocks {
-		b := &p.Blocks[i]
+}
+
+// ReportBlocks finalizes only the per-block view of the pattern (one
+// entry per block plus the chip entry), skipping the three O(instances)
+// energy-vector copies of Report that the pattern-profiling loop never
+// consumes. The returned slice is independent of the meter.
+func (m *Meter) ReportBlocks(period float64) []BlockPower {
+	blocks := make([]BlockPower, len(m.blocks))
+	copy(blocks, m.blocks)
+	for i := range blocks {
+		b := &blocks[i]
 		if b.First < 0 {
 			b.First = 0
 		}
@@ -192,8 +225,17 @@ func (m *Meter) Report(period float64) *Profile {
 		b.SCAPVdd = mw(b.EnergyVDD, b.STW)
 		b.SCAPVss = mw(b.EnergyVSS, b.STW)
 	}
-	return p
+	return blocks
 }
+
+// RawInstEnergyVDD returns the meter's live per-instance VDD-rail energy
+// accumulator (fJ, rising edges). It is valid until the next Reset and
+// must not be mutated — the batched IR-drop pipeline reads it directly
+// instead of paying Report's per-instance copies.
+func (m *Meter) RawInstEnergyVDD() []float64 { return m.instEnergyVDD }
+
+// RawInstEnergyVSS is RawInstEnergyVDD for the VSS rail (falling edges).
+func (m *Meter) RawInstEnergyVSS() []float64 { return m.instEnergyVSS }
 
 // mw converts energy (fJ) over a window (ns) to mW; a zero window yields 0.
 func mw(energyFJ, windowNs float64) float64 {
@@ -207,12 +249,24 @@ func mw(energyFJ, windowNs float64) float64 {
 // window (ns) into average per-instance currents in mA, the input of the
 // IR-drop solver: I = E / (VDD · t).
 func InstCurrents(d *netlist.Design, energy []float64, windowNs float64) []float64 {
-	out := make([]float64, len(energy))
+	return InstCurrentsInto(nil, d, energy, windowNs)
+}
+
+// InstCurrentsInto is InstCurrents writing into a reusable buffer (the
+// per-worker scratch of the batched IR-drop pipeline); dst is grown if
+// needed and returned.
+func InstCurrentsInto(dst []float64, d *netlist.Design, energy []float64, windowNs float64) []float64 {
+	if len(dst) != len(energy) {
+		dst = make([]float64, len(energy))
+	}
 	if windowNs <= 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i, e := range energy {
-		out[i] = e / (d.Lib.VDD * windowNs) * 1e-3 // µA -> mA
+		dst[i] = e / (d.Lib.VDD * windowNs) * 1e-3 // µA -> mA
 	}
-	return out
+	return dst
 }

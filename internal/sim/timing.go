@@ -49,6 +49,17 @@ func NewTiming(s *Simulator, delays *sdf.Delays, tree Clock) *Timing {
 	return &Timing{sim: s, delays: delays, tree: tree, MaxEventsPerNet: 128, MinPulseNs: 0.12}
 }
 
+// Clone returns an independent Timing with the same configuration. The
+// underlying simulator, delay table and clock tree are immutable after
+// construction and stay shared; Timing itself holds no scratch state
+// between Launch calls (each Launch owns its event queue and net
+// vectors), so a clone is just a config copy. This is the per-worker
+// constructor path of the parallel profiling pipeline.
+func (tm *Timing) Clone() *Timing {
+	c := *tm
+	return &c
+}
+
 // Result summarizes one launch-to-capture timing simulation.
 type Result struct {
 	Toggles    int     // total output transitions observed
