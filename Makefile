@@ -1,6 +1,6 @@
 # Convenience targets for the scap reproduction.
 
-.PHONY: test test-race bench check repro flow cover fmt vet
+.PHONY: test test-race bench bench-json check repro flow cover fmt vet
 
 test:
 	go test ./...
@@ -14,6 +14,13 @@ test-race:
 # `go test -bench=. -benchmem ./...` for timed runs.
 bench:
 	go test -bench . -benchtime 1x -run ^$$ ./...
+
+# Machine-readable perf trajectory: run the power-grid solver and
+# profiling-pipeline benchmarks with -benchmem and emit BENCH_pgrid.json
+# (ns/op, B/op, allocs/op and extra metrics per benchmark) so regressions
+# are comparable across PRs.
+bench-json:
+	go test -run '^$$' -bench 'Solve|Factor|Pgrid|IRDrop|ProfilePatterns' -benchmem . | go run ./cmd/benchjson > BENCH_pgrid.json
 
 # CI-style tier-1 verify in one command.
 check:

@@ -364,6 +364,86 @@ func BenchmarkDynamicIRDropAll(b *testing.B) {
 	}
 }
 
+// benchSolveInputs prepares the acceptance workload shared by the
+// solver benchmarks: the default calibrated VDD grid, a statistical
+// injection perturbed the way per-pattern injections drift, and a
+// converged baseline usable as a warm start.
+func benchSolveInputs(b *testing.B) (*pgrid.Grid, []float64, []float64) {
+	b.Helper()
+	r := benchRunner(b)
+	sys := r.Sys
+	cur := power.StatCurrents(sys.D, sys.Cfg.ToggleProb, sys.Period/2)
+	for i := range cur {
+		cur[i] /= 2
+	}
+	g := sys.GridVDD
+	inj := g.InjectInstCurrents(sys.D, cur)
+	base, err := g.Solve(inj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj2 := append([]float64(nil), inj...)
+	for i := range inj2 {
+		inj2[i] *= 1.05
+	}
+	return g, inj2, base.Drop
+}
+
+// BenchmarkSolveWarm / BenchmarkSolveFactored are the headline pair of
+// the cached banded-Cholesky solver: the same injection on the same
+// default grid, solved by warm-started SOR vs two factored triangular
+// sweeps. The factored path must be >= 5x cheaper in ns/op.
+func BenchmarkSolveWarm(b *testing.B) {
+	g, inj, warm := benchSolveInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sol *pgrid.Solution
+	for i := 0; i < b.N; i++ {
+		var err error
+		sol, err = g.SolveWarm(inj, warm, sol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sol.Iterations), "sweeps")
+	}
+}
+
+func BenchmarkSolveFactored(b *testing.B) {
+	g, inj, _ := benchSolveInputs(b)
+	if _, err := g.Factor(); err != nil { // amortized once per grid: keep it out of the loop
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sol *pgrid.Solution
+	var scratch pgrid.SolveScratch
+	for i := 0; i < b.N; i++ {
+		var err error
+		sol, err = g.SolveFactored(inj, sol, &scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFactor prices the one-time banded LDLᵀ factorization that
+// SolveFactored amortizes across every solve of a grid's lifetime.
+func BenchmarkFactor(b *testing.B) {
+	r := benchRunner(b)
+	p := r.Sys.GridVDD.P
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := pgrid.New(r.Sys.FP, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Factor(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPgridWarmStart quantifies the warm-start win on the SOR
 // solver itself: the same slightly-perturbed injection solved cold vs
 // warm-started from the neighbouring solution.

@@ -1,0 +1,70 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON array on stdout — one object per benchmark line with the
+// iteration count and every reported metric (ns/op, B/op, allocs/op and
+// any b.ReportMetric extras) keyed by unit. The raw text is echoed to
+// stderr so a piped run stays watchable.
+//
+// Usage (see the Makefile's bench-json target):
+//
+//	go test -run '^$' -bench Solve -benchmem . | benchjson > BENCH_pgrid.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := []result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark...: some note" line
+		}
+		r := result{
+			Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		// The tail is value/unit pairs: "128075 ns/op 2 B/op 0 allocs/op".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

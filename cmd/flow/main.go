@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flow [-scale N] [-out dir] [-workers W]
+//	flow [-scale N] [-out dir] [-workers W] [-solver factored|sor] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"scap/internal/core"
@@ -28,7 +30,22 @@ func main() {
 	scale := flag.Int("scale", 8, "design scale divisor")
 	out := flag.String("out", "flow_out", "artifact directory")
 	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
+	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at flow end to this file")
 	flag.Parse()
+
+	solver, err := core.ParseSolver(*solverName)
+	die(err)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			die(f.Close())
+		}()
+	}
 
 	t0 := time.Now()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -36,6 +53,7 @@ func main() {
 	}
 	cfg := core.DefaultConfig(*scale)
 	cfg.Workers = *workers
+	cfg.Solver = solver
 	sys, err := core.Build(cfg)
 	die(err)
 
@@ -100,6 +118,14 @@ func main() {
 		fmt.Fprintf(f, "delay-decile histogram (short->long paths): %v\n", grade.Deciles)
 		return nil
 	})
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		die(err)
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		die(pprof.WriteHeapProfile(f))
+		die(f.Close())
+		fmt.Printf("  wrote %s\n", *memprofile)
+	}
 	fmt.Printf("flow complete in %v\n", time.Since(t0).Round(time.Millisecond))
 }
 

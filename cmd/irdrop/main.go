@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W]
+//	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W] [-solver factored|sor]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 	showMap := flag.Bool("map", false, "render the VDD drop heatmap")
 	doFTAS := flag.Bool("ftas", false, "run the faster-than-at-speed overkill sweep")
 	workers := flag.Int("workers", 0, "analysis workers (0 = all cores, 1 = serial)")
+	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
 	flag.Parse()
 
 	model := core.ModelSCAP
@@ -38,10 +39,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "irdrop: unknown model", *modelName)
 		os.Exit(2)
 	}
+	solver, err := core.ParseSolver(*solverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irdrop:", err)
+		os.Exit(2)
+	}
 
 	t0 := time.Now()
 	cfg := core.DefaultConfig(*scale)
 	cfg.Workers = *workers
+	cfg.Solver = solver
 	sys, err := core.Build(cfg)
 	die(err)
 	stat, err := sys.Statistical()
@@ -63,8 +70,8 @@ func main() {
 		t1 := time.Now()
 		res, err := sys.MonteCarloIRDrop(*mc, sys.Cfg.Seed)
 		die(err)
-		fmt.Printf("\nMonte-Carlo statistical analysis: %d trials, half-cycle window (%v, mean %.1f SOR sweeps/trial):\n",
-			res.Trials, time.Since(t1).Round(time.Millisecond), res.MeanIters)
+		fmt.Printf("\nMonte-Carlo statistical analysis: %d trials, half-cycle window (%v, %s solver, mean %.1f sweeps/trial):\n",
+			res.Trials, time.Since(t1).Round(time.Millisecond), solver, res.MeanIters)
 		fmt.Printf("%-6s %10s %10s %10s\n", "block", "mean [V]", "p95 [V]", "max [V]")
 		for b := 0; b <= sys.D.NumBlocks; b++ {
 			name := "Chip"
@@ -95,8 +102,8 @@ func main() {
 				worstP = i
 			}
 		}
-		fmt.Printf("\nbatched %v-model analysis: %d patterns solved in %v (mean %.1f VDD sweeps/pattern, warm-started)\n",
-			model, len(sums), time.Since(t1).Round(time.Millisecond), float64(iterSum)/float64(len(sums)))
+		fmt.Printf("\nbatched %v-model analysis: %d patterns solved in %v (%s solver, mean %.1f VDD sweeps/pattern)\n",
+			model, len(sums), time.Since(t1).Round(time.Millisecond), solver, float64(iterSum)/float64(len(sums)))
 		fmt.Printf("  worst pattern #%d: VDD %.3f V, VSS %.3f V (STW %.2f ns)\n",
 			worstP, sums[worstP].WorstVDD[nb], sums[worstP].WorstVSS[nb], sums[worstP].STW)
 	}

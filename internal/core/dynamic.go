@@ -61,9 +61,14 @@ func (sys *System) DynamicIRDrop(p *atpg.Pattern, dom int, model PowerModel) (*D
 	}
 	out := &DynamicIR{Model: model, Profile: prof, STW: res.STW}
 
+	// One current and one injection buffer serve both rail solves in
+	// turn (each rail keeps its own Solution, but the intermediate
+	// vectors never outlive a solve).
+	var cur, inj []float64
 	solve := func(g *pgrid.Grid, energy []float64) (*pgrid.Solution, []float64, error) {
-		cur := power.InstCurrents(d, energy, window)
-		sol, err := g.Solve(g.InjectInstCurrents(d, cur))
+		cur = power.InstCurrentsInto(cur, d, energy, window)
+		inj = g.InjectInstCurrentsInto(inj, d, cur)
+		sol, err := sys.solveRail(g, inj, nil, nil, nil)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: dynamic solve: %w", err)
 		}
@@ -95,20 +100,28 @@ type IRDropSummary struct {
 }
 
 // irScratch is one worker's solver state for DynamicIRDropAll: reusable
-// current/injection vectors and a recycled Solution per rail.
+// current/injection vectors, a recycled Solution per rail, and the
+// factored solver's forward-substitution scratch.
 type irScratch struct {
 	cur, inj       []float64
 	solVDD, solVSS *pgrid.Solution
+	fs             pgrid.SolveScratch
 }
 
 // DynamicIRDropAll runs the dynamic per-pattern IR-drop analysis over a
 // whole flow, fanned across sys.Workers workers (0 = all cores, 1 = the
-// exact serial path). Pattern 0 is solved cold first and its rail
-// solutions become the shared warm-start guess for every remaining
-// pattern — per-pattern injections resemble each other, so SOR
-// converges in a fraction of the cold iteration count, and because the
-// guess is the same for every pattern the results are identical for any
-// worker count (each solve still runs to the grid's own tolerance).
+// exact serial path).
+//
+// Under the default factored solver every pattern is two exact banded
+// triangular sweeps against the grid's shared read-only factorization,
+// so all patterns fan out immediately and results are bit-identical for
+// any worker count by construction. Under the SOR fallback, pattern 0
+// is solved cold first and its rail solutions become the shared
+// warm-start guess for every remaining pattern — per-pattern injections
+// resemble each other, so SOR converges in a fraction of the cold
+// iteration count, and because the guess is the same for every pattern
+// the results are again identical for any worker count (each solve
+// still runs to the grid's own tolerance).
 func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropSummary, error) {
 	n := len(fr.Patterns)
 	out := make([]IRDropSummary, n)
@@ -143,7 +156,7 @@ func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropS
 		solve := func(g *pgrid.Grid, energy, warm []float64, reuse *pgrid.Solution) (*pgrid.Solution, []float64, error) {
 			sc.cur = power.InstCurrentsInto(sc.cur, sys.D, energy, window)
 			sc.inj = g.InjectInstCurrentsInto(sc.inj, sys.D, sc.cur)
-			sol, err := g.SolveWarm(sc.inj, warm, reuse)
+			sol, err := sys.solveRail(g, sc.inj, warm, reuse, &sc.fs)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: dynamic solve pattern %d: %w", i, err)
 			}
@@ -161,8 +174,28 @@ func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropS
 		return nil
 	}
 
-	// Cold baseline: pattern 0 on worker 0, then copy its drops out of
-	// the recyclable scratch as the shared read-only warm guess.
+	if sys.Solver != SolverSOR {
+		// Factored path: the shared factorization makes every solve
+		// exact and independent, so all patterns fan out at once. Factor
+		// both rails up front rather than inside the first solves, so
+		// the one-time cost is not attributed to a worker's pattern.
+		if _, err := sys.GridVDD.Factor(); err != nil {
+			return nil, err
+		}
+		if _, err := sys.GridVSS.Factor(); err != nil {
+			return nil, err
+		}
+		if err := parallel.For(workers, n, func(w, i int) error {
+			return eval(w, i, nil, nil)
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	// SOR fallback. Cold baseline: pattern 0 on worker 0, then copy its
+	// drops out of the recyclable scratch as the shared read-only warm
+	// guess.
 	if err := eval(0, 0, nil, nil); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"scap/internal/pgrid"
 	"scap/internal/soc"
 )
 
@@ -13,6 +14,14 @@ func setWorkers(t *testing.T, sys *System, n int) {
 	old := sys.Workers
 	sys.Workers = n
 	t.Cleanup(func() { sys.Workers = old })
+}
+
+// setSolver temporarily overrides the shared system's solver choice.
+func setSolver(t *testing.T, sys *System, s Solver) {
+	t.Helper()
+	old := sys.Solver
+	sys.Solver = s
+	t.Cleanup(func() { sys.Solver = old })
 }
 
 // TestProfilePatternsDeterministicAcrossWorkers is the concurrency
@@ -118,16 +127,74 @@ func TestDynamicIRDropAllMatchesSingle(t *testing.T) {
 			}
 		}
 	}
-	// The warm start must actually pay: later patterns should converge
-	// in fewer sweeps than the cold first solve on average.
-	if len(all) > 2 {
-		warmSum, n := 0, 0
-		for _, s := range all[1:] {
-			warmSum += s.IterVDD
-			n++
+}
+
+// TestDynamicIRDropAllSORWarmStart pins the SOR fallback's warm-start
+// contract: later patterns must converge in fewer sweeps than the cold
+// first solve on average.
+func TestDynamicIRDropAllSORWarmStart(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	setSolver(t, sys, SolverSOR)
+	all, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= 2 {
+		t.Skip("too few patterns to compare warm vs cold")
+	}
+	warmSum, n := 0, 0
+	for _, s := range all[1:] {
+		warmSum += s.IterVDD
+		n++
+	}
+	if mean := float64(warmSum) / float64(n); mean >= float64(all[0].IterVDD) {
+		t.Fatalf("warm-started mean %v sweeps not below cold %d", mean, all[0].IterVDD)
+	}
+}
+
+// TestDynamicIRDropAllSolverEquivalence is the cross-solver acceptance
+// contract: the batched analysis must agree field-for-field between the
+// factored direct path and the SOR fallback within 1e-9 V once SOR runs
+// at a tolerance tight enough to be comparable to an exact solve. (The
+// default 1e-7 SOR tolerance is what the factored solver removes; the
+// grids themselves are identical because calibration is always exact.)
+func TestDynamicIRDropAllSolverEquivalence(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	fac, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setSolver(t, sys, SolverSOR)
+	for _, g := range []*pgrid.Grid{sys.GridVDD, sys.GridVSS} {
+		oldTol, oldIter := g.P.Tol, g.P.MaxIter
+		g.P.Tol, g.P.MaxIter = 1e-13, 400000
+		t.Cleanup(func() { g.P.Tol, g.P.MaxIter = oldTol, oldIter })
+	}
+	sor, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fac) != len(sor) {
+		t.Fatalf("lengths %d vs %d", len(fac), len(sor))
+	}
+	const tol = 1e-9
+	for i := range fac {
+		f, s := &fac[i], &sor[i]
+		if f.Index != s.Index || f.Model != s.Model || f.STW != s.STW {
+			t.Fatalf("pattern %d: metadata differs: %+v vs %+v", i, f, s)
 		}
-		if mean := float64(warmSum) / float64(n); mean >= float64(all[0].IterVDD) {
-			t.Fatalf("warm-started mean %v sweeps not below cold %d", mean, all[0].IterVDD)
+		if len(f.WorstVDD) != len(s.WorstVDD) || len(f.WorstVSS) != len(s.WorstVSS) {
+			t.Fatalf("pattern %d: block slice lengths differ", i)
+		}
+		for b := range f.WorstVDD {
+			if d := math.Abs(f.WorstVDD[b] - s.WorstVDD[b]); d > tol {
+				t.Fatalf("pattern %d block %d: VDD factored %v vs SOR %v (|d|=%v)",
+					i, b, f.WorstVDD[b], s.WorstVDD[b], d)
+			}
+			if d := math.Abs(f.WorstVSS[b] - s.WorstVSS[b]); d > tol {
+				t.Fatalf("pattern %d block %d: VSS factored %v vs SOR %v (|d|=%v)",
+					i, b, f.WorstVSS[b], s.WorstVSS[b], d)
+			}
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"scap/internal/pgrid"
+)
+
+// Solver selects the power-grid solve path used by every per-pattern and
+// statistical rail analysis (see DESIGN.md "Solver hierarchy").
+type Solver uint8
+
+const (
+	// SolverFactored (the default) solves every injection against the
+	// grid's cached banded LDLᵀ factorization: the matrix work is paid
+	// once per grid and each solve is two exact triangular sweeps. The
+	// factorization is read-only after construction, so all workers share
+	// it and results are independent of the worker count by construction.
+	SolverFactored Solver = iota
+	// SolverSOR keeps the iterative successive-over-relaxation path with
+	// shared warm starts — the fallback for memory-constrained meshes
+	// (the factor stores N³ floats) and the cross-validation oracle the
+	// equivalence tests run against.
+	SolverSOR
+)
+
+// String names the solver the way the -solver flag spells it.
+func (s Solver) String() string {
+	if s == SolverSOR {
+		return "sor"
+	}
+	return "factored"
+}
+
+// ParseSolver maps a -solver flag value onto a Solver.
+func ParseSolver(name string) (Solver, error) {
+	switch name {
+	case "", "factored":
+		return SolverFactored, nil
+	case "sor":
+		return SolverSOR, nil
+	}
+	return 0, fmt.Errorf("core: unknown solver %q (want factored or sor)", name)
+}
+
+// solveRail solves one rail injection with the system's configured
+// solver. The reuse hooks are all optional: warm (an initial guess)
+// applies only to the SOR path, scratch only to the factored path, and
+// reuse recycles the Solution under both.
+func (sys *System) solveRail(g *pgrid.Grid, inj, warm []float64, reuse *pgrid.Solution, scratch *pgrid.SolveScratch) (*pgrid.Solution, error) {
+	if sys.Solver == SolverSOR {
+		return g.SolveWarm(inj, warm, reuse)
+	}
+	return g.SolveFactored(inj, reuse, scratch)
+}

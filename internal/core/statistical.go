@@ -39,8 +39,9 @@ type StatAnalysis struct {
 // Statistical runs the paper's Section 2.2 analysis on both windows.
 func (sys *System) Statistical() (*StatAnalysis, error) {
 	an := &StatAnalysis{ToggleProb: sys.Cfg.ToggleProb, HotBlock: -1}
+	var cur []float64 // per-instance currents buffer shared by both windows
 	for i, window := range []float64{sys.Period, sys.Period / 2} {
-		c, err := sys.statCase(window)
+		c, err := sys.statCase(window, &cur)
 		if err != nil {
 			return nil, err
 		}
@@ -62,14 +63,15 @@ func (sys *System) Statistical() (*StatAnalysis, error) {
 	return an, nil
 }
 
-func (sys *System) statCase(windowNs float64) (*StatCase, error) {
+func (sys *System) statCase(windowNs float64, curBuf *[]float64) (*StatCase, error) {
 	d := sys.D
 	c := &StatCase{
 		WindowNs: windowNs,
 		Power:    power.Statistical(d, sys.Cfg.ToggleProb, windowNs),
 	}
 	// Each rail sees half the transitions (rising on VDD, falling on VSS).
-	cur := power.StatCurrents(d, sys.Cfg.ToggleProb, windowNs)
+	*curBuf = power.StatCurrentsInto(*curBuf, d, sys.Cfg.ToggleProb, windowNs)
+	cur := *curBuf
 	for i := range cur {
 		cur[i] /= 2
 	}
@@ -79,7 +81,7 @@ func (sys *System) statCase(windowNs float64) (*StatCase, error) {
 	var worst [2][]float64
 	err := parallel.For(sys.Workers, 2, func(_, r int) error {
 		g := grids[r]
-		sol, err := g.Solve(g.InjectInstCurrents(d, cur))
+		sol, err := sys.solveRail(g, g.InjectInstCurrents(d, cur), nil, nil, nil)
 		if err != nil {
 			return fmt.Errorf("core: statistical solve: %w", err)
 		}
@@ -109,15 +111,17 @@ type MCResult struct {
 	// MeanVDD, P95VDD and MaxVDD hold the per-block (+chip, index
 	// NumBlocks) statistics of the worst VDD-rail node drop, volts.
 	MeanVDD, P95VDD, MaxVDD []float64
-	// MeanIters is the mean SOR sweep count per trial — warm-starting
-	// from the deterministic baseline keeps it far below a cold solve.
+	// MeanIters is the mean solver sweep count per trial: 1 under the
+	// factored solver (every trial is exact), and under the SOR fallback
+	// the warm-started iteration count, far below a cold solve.
 	MeanIters float64
 }
 
 // MonteCarloIRDrop runs the Monte-Carlo loop over the Case-2 (half
 // cycle) window. Trials are independent, so they fan out across
 // sys.Workers workers; each trial seeds its own PRNG from (seed, trial)
-// and warm-starts from the shared deterministic baseline solution, so
+// and solves against the shared read-only factorization (or, under the
+// SOR fallback, warm-starts from the shared deterministic baseline), so
 // the result is identical for any worker count.
 func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
 	if trials <= 0 {
@@ -134,16 +138,24 @@ func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
 		fullCur[i] = d.LoadCap(netlist.InstID(i)) * d.Lib.VDD / window * 1e-3
 	}
 
-	// Deterministic warm-start baseline: the expected injection (the
-	// Case-2 VDD solve of the Statistical analysis).
-	exp := power.StatCurrents(d, prob, window)
-	for i := range exp {
-		exp[i] /= 2
-	}
+	// Deterministic warm-start baseline for the SOR fallback: the
+	// expected injection (the Case-2 VDD solve of the Statistical
+	// analysis). The factored path needs no guess — every trial is an
+	// exact solve against the shared factorization.
 	g := sys.GridVDD
-	base, err := g.Solve(g.InjectInstCurrents(d, exp))
-	if err != nil {
-		return nil, fmt.Errorf("core: MC baseline: %w", err)
+	var warm []float64
+	if sys.Solver == SolverSOR {
+		exp := power.StatCurrents(d, prob, window)
+		for i := range exp {
+			exp[i] /= 2
+		}
+		base, err := g.Solve(g.InjectInstCurrents(d, exp))
+		if err != nil {
+			return nil, fmt.Errorf("core: MC baseline: %w", err)
+		}
+		warm = base.Drop
+	} else if _, err := g.Factor(); err != nil {
+		return nil, fmt.Errorf("core: MC factorization: %w", err)
 	}
 
 	workers := parallel.Resolve(sys.Workers)
@@ -153,11 +165,12 @@ func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
 	type mcScratch struct {
 		cur, inj []float64
 		sol      *pgrid.Solution
+		fs       pgrid.SolveScratch
 	}
 	scratch := make([]mcScratch, workers)
 	perTrial := make([][]float64, trials)
 	iters := make([]int, trials)
-	err = parallel.For(workers, trials, func(w, t int) error {
+	err := parallel.For(workers, trials, func(w, t int) error {
 		sc := &scratch[w]
 		if sc.cur == nil {
 			sc.cur = make([]float64, d.NumInsts())
@@ -171,7 +184,7 @@ func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
 			}
 		}
 		sc.inj = g.InjectInstCurrentsInto(sc.inj, d, sc.cur)
-		sol, err := g.SolveWarm(sc.inj, base.Drop, sc.sol)
+		sol, err := sys.solveRail(g, sc.inj, warm, sc.sol, &sc.fs)
 		if err != nil {
 			return fmt.Errorf("core: MC trial %d: %w", t, err)
 		}

@@ -60,6 +60,12 @@ type Config struct {
 	// for any value — workers only own scratch state and write
 	// index-addressed outputs.
 	Workers int
+
+	// Solver picks the power-grid solve path: the cached banded-LDLᵀ
+	// factorization (SolverFactored, the default) or the iterative SOR
+	// fallback (SolverSOR). Grid calibration always uses the exact
+	// factored solve, so the built grids are identical across choices.
+	Solver Solver
 }
 
 // DefaultConfig returns the full experiment configuration at the given SOC
@@ -76,6 +82,7 @@ func DefaultConfig(scale int) Config {
 		GridCalibTargetV: 0.11,
 		BacktrackLimit:   64,
 		Seed:             1,
+		Solver:           SolverFactored,
 	}
 }
 
@@ -101,6 +108,9 @@ type System struct {
 	// Workers mirrors Config.Workers and may be changed between calls
 	// (0 = all cores, 1 = exact serial path).
 	Workers int
+
+	// Solver mirrors Config.Solver and may be changed between calls.
+	Solver Solver
 }
 
 // Build constructs the complete system.
@@ -135,6 +145,7 @@ func Build(cfg Config) (*System, error) {
 		Delays:  sdf.Compute(d),
 		Period:  cfg.SOC.TestPeriodNs,
 		Workers: cfg.Workers,
+		Solver:  cfg.Solver,
 	}
 	if err := sys.buildGrids(); err != nil {
 		return nil, err
@@ -171,7 +182,11 @@ func (sys *System) buildGrids() error {
 		for i := range cur {
 			cur[i] /= 2 // rising edges only on the VDD rail
 		}
-		sol, err := vdd.Solve(vdd.InjectInstCurrents(sys.D, cur))
+		// Calibrate with the exact factored solve regardless of the
+		// configured per-pattern solver: the scale factor then carries no
+		// iteration-tolerance noise, so -solver only changes how solves
+		// are computed, never which grids they run on.
+		sol, err := vdd.SolveFactored(vdd.InjectInstCurrents(sys.D, cur), nil, nil)
 		if err != nil {
 			return fmt.Errorf("core: grid calibration: %w", err)
 		}

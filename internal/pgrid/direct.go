@@ -3,18 +3,17 @@ package pgrid
 import "fmt"
 
 // SolveDirect solves the same mesh equation G·v = I by dense Gaussian
-// elimination with partial pivoting. It is O(n³) in the node count and
-// exists to cross-validate the SOR solver on small meshes (tests) and to
-// solve stiff cases where SOR converges slowly. Inputs and outputs match
-// Solve.
+// elimination with partial pivoting. It is O(n³) in the node count
+// (cubic in N² for an N×N mesh, and O(n²) memory for the dense matrix)
+// and exists as the numerical oracle that cross-validates both the
+// banded factorization and the SOR solver. Inputs and outputs match
+// Solve. Prefer SolveFactored for anything but validation: it computes
+// the same exact solution with band-limited work and no dense matrix.
 func (g *Grid) SolveDirect(injMA []float64) (*Solution, error) {
 	n := g.P.N
 	nn := n * n
 	if len(injMA) != nn {
 		return nil, fmt.Errorf("pgrid: injection length %d, want %d", len(injMA), nn)
-	}
-	if nn > 4096 {
-		return nil, fmt.Errorf("pgrid: SolveDirect limited to 4096 nodes, have %d", nn)
 	}
 	gseg := 1 / g.P.SegRes
 

@@ -1,0 +1,194 @@
+package pgrid
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"scap/internal/place"
+)
+
+// randGrid builds a randomized mesh: random resolution, segment/pad
+// resistances and pad count, with a tight SOR tolerance so the iterative
+// solution is comparable to the exact solvers at 1e-9 V.
+func randGrid(t *testing.T, rng *rand.Rand) *Grid {
+	t.Helper()
+	p := DefaultParams()
+	p.N = 4 + rng.Intn(12)           // 4..15 -> 16..225 nodes
+	p.SegRes = 0.1 + 2*rng.Float64() // 0.1..2.1 Ω
+	p.PadRes = 0.05 + rng.Float64()  // 0.05..1.05 Ω
+	p.NumPads = 1 + rng.Intn(40)     // 1..40
+	p.PadOffset = rng.Float64() / 2  // 0..0.5
+	p.Tol = 1e-12                    // run SOR essentially to convergence
+	p.MaxIter = 200000
+	g, err := New(place.NewFloorplan(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randInj draws a sparse-ish random injection (mA) over the mesh.
+func randInj(g *Grid, rng *rand.Rand) []float64 {
+	nn := g.P.N * g.P.N
+	inj := make([]float64, nn)
+	hits := 1 + rng.Intn(nn)
+	for h := 0; h < hits; h++ {
+		inj[rng.Intn(nn)] += 50 * rng.Float64()
+	}
+	return inj
+}
+
+// TestSolveFactoredPropertyEquivalence is the solver-hierarchy contract:
+// on randomized meshes and injections the banded factorization, the SOR
+// iteration (at tight tolerance) and the dense Gaussian oracle must all
+// agree within 1e-9 V, node for node and on the worst drop.
+func TestSolveFactoredPropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const tol = 1e-9
+	for trial := 0; trial < 25; trial++ {
+		g := randGrid(t, rng)
+		inj := randInj(g, rng)
+
+		fac, err := g.SolveFactored(inj, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: factored: %v", trial, err)
+		}
+		direct, err := g.SolveDirect(inj)
+		if err != nil {
+			t.Fatalf("trial %d: direct: %v", trial, err)
+		}
+		sor, err := g.SolveWarm(inj, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: sor: %v", trial, err)
+		}
+		for i := range fac.Drop {
+			if d := math.Abs(fac.Drop[i] - direct.Drop[i]); d > tol {
+				t.Fatalf("trial %d node %d: factored %v vs direct %v (N=%d)",
+					trial, i, fac.Drop[i], direct.Drop[i], g.P.N)
+			}
+			if d := math.Abs(fac.Drop[i] - sor.Drop[i]); d > tol {
+				t.Fatalf("trial %d node %d: factored %v vs SOR %v (N=%d)",
+					trial, i, fac.Drop[i], sor.Drop[i], g.P.N)
+			}
+		}
+		if d := math.Abs(fac.Worst - direct.Worst); d > tol {
+			t.Fatalf("trial %d: worst factored %v vs direct %v", trial, fac.Worst, direct.Worst)
+		}
+		if d := math.Abs(fac.Worst - sor.Worst); d > tol {
+			t.Fatalf("trial %d: worst factored %v vs SOR %v", trial, fac.Worst, sor.Worst)
+		}
+	}
+}
+
+// TestSolveFactoredReuse: the reuse/scratch hooks must recycle their
+// buffers and produce the same answer as a fresh solve.
+func TestSolveFactoredReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randGrid(t, rng)
+	inj := randInj(g, rng)
+	fresh, err := g.SolveFactored(inj, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch SolveScratch
+	reused, err := g.SolveFactored(inj, &Solution{Drop: make([]float64, g.P.N*g.P.N)}, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := reused.Drop
+	again, err := g.SolveFactored(inj, reused, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != reused || &again.Drop[0] != &buf[0] {
+		t.Fatal("reuse Solution/Drop buffer was not recycled")
+	}
+	for i := range fresh.Drop {
+		if fresh.Drop[i] != again.Drop[i] {
+			t.Fatalf("node %d: reuse changed the answer: %v vs %v", i, fresh.Drop[i], again.Drop[i])
+		}
+	}
+	// Undersized reuse must be replaced, not indexed out of range.
+	small := &Solution{Drop: make([]float64, 2)}
+	sol, err := g.SolveFactored(inj, small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Drop) != g.P.N*g.P.N {
+		t.Fatalf("undersized reuse left %d nodes", len(sol.Drop))
+	}
+	if _, err := g.SolveFactored(make([]float64, 3), nil, nil); err == nil {
+		t.Fatal("bad injection length accepted")
+	}
+}
+
+// TestFactorizationConcurrentSolves shares one Factorization across 8
+// goroutines, each running many solves with its own scratch. Run under
+// -race via `make test-race`, this is the data-race contract of the
+// read-only factor cache; the answers must also be bit-identical to the
+// serial reference.
+func TestFactorizationConcurrentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := DefaultParams()
+	p.N = 16
+	g, err := New(place.NewFloorplan(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const solvesEach = 6
+	injs := make([][]float64, goroutines*solvesEach)
+	refs := make([][]float64, len(injs))
+	for i := range injs {
+		injs[i] = randInj(g, rng)
+	}
+	// Serial reference AFTER the injections are fixed but computed on a
+	// second identical grid, so the concurrent run below performs the
+	// first-touch factorization race on g itself.
+	gRef, err := New(place.NewFloorplan(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range injs {
+		sol, err := gRef.SolveFactored(injs[i], nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = append([]float64(nil), sol.Drop...)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scratch SolveScratch
+			var sol *Solution
+			for s := 0; s < solvesEach; s++ {
+				i := w*solvesEach + s
+				var err error
+				sol, err = g.SolveFactored(injs[i], sol, &scratch)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for node := range sol.Drop {
+					if sol.Drop[node] != refs[i][node] {
+						t.Errorf("worker %d solve %d node %d: %v vs serial %v",
+							w, s, node, sol.Drop[node], refs[i][node])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}

@@ -2,8 +2,11 @@
 // IR-drop: a uniform resistive mesh per rail (VDD and VSS have the same
 // topology), fed by pads distributed around the die periphery (the paper's
 // design has 37 VDD and 37 VSS pads), with cell currents injected at their
-// placed locations. The mesh equation G·v = I is solved with successive
-// over-relaxation.
+// placed locations. The mesh equation G·v = I is solved either by a cached
+// banded LDLᵀ factorization (SolveFactored — the per-pattern hot path,
+// which amortizes the matrix work once per grid) or by successive
+// over-relaxation (Solve/SolveWarm — the iterative fallback and
+// cross-validation oracle).
 //
 // Both analyses of the paper run on top of this solver:
 //
@@ -20,6 +23,7 @@ package pgrid
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"scap/internal/netlist"
 	"scap/internal/place"
@@ -74,6 +78,13 @@ type Grid struct {
 	fp *place.Floorplan
 	// padG[i] is the pad conductance attached to node i (0 if none).
 	padG []float64
+
+	// Cached banded LDLᵀ factorization of the conductance matrix (see
+	// factor.go); built lazily on the first SolveFactored/Factor call and
+	// shared read-only by every solve thereafter.
+	factOnce sync.Once
+	fact     *Factorization
+	factErr  error
 }
 
 // New builds the mesh over the floorplan's die.

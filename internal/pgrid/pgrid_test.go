@@ -227,18 +227,21 @@ func TestDirectMatchesSOR(t *testing.T) {
 }
 
 func TestDirectValidation(t *testing.T) {
-	g, _ := grid(t) // N=40 -> 1600 nodes, allowed
+	g, _ := grid(t)
 	if _, err := g.SolveDirect(make([]float64, 3)); err == nil {
 		t.Fatal("bad length accepted")
 	}
+	// The former 4096-node ceiling is lifted: a mesh above it must build a
+	// dense system without erroring on size alone (solving one that large
+	// is exercised by the factored/SOR property tests instead — dense
+	// elimination at 70×70 is too slow for tier-1).
 	big := DefaultParams()
 	big.N = 70
-	gb, err := New(place.NewFloorplan(), big)
-	if err != nil {
+	if _, err := New(place.NewFloorplan(), big); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := gb.SolveDirect(make([]float64, 70*70)); err == nil {
-		t.Fatal("oversized direct solve accepted")
+	if _, err := g.SolveDirect(make([]float64, 70*70)); err == nil {
+		t.Fatal("mismatched injection length accepted")
 	}
 }
 

@@ -191,6 +191,41 @@ func TestStatCurrentsMatchPower(t *testing.T) {
 	}
 }
 
+func TestStatCurrentsInto(t *testing.T) {
+	d, _, err := soc.Generate(soc.DefaultConfig(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := place.Place(d, 1)
+	if _, err := parasitic.Extract(d, fp, parasitic.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	want := StatCurrents(d, 0.3, 20)
+	buf := make([]float64, d.NumInsts())
+	for i := range buf {
+		buf[i] = 99 // stale content must be overwritten
+	}
+	got := StatCurrentsInto(buf, d, 0.3, 20)
+	if &got[0] != &buf[0] {
+		t.Fatal("buffer not reused")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inst %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Wrong-size buffers are replaced; zero windows clear stale content.
+	if small := StatCurrentsInto(make([]float64, 2), d, 0.3, 20); len(small) != d.NumInsts() {
+		t.Fatalf("undersized buffer left %d entries", len(small))
+	}
+	z := StatCurrentsInto(got, d, 0.3, 0)
+	for i := range z {
+		if z[i] != 0 {
+			t.Fatal("zero window should clear the buffer")
+		}
+	}
+}
+
 func TestInstCurrentsConversion(t *testing.T) {
 	d, _, tm := chainDesign(t)
 	m := NewMeter(d)

@@ -56,14 +56,27 @@ func Statistical(d *netlist.Design, toggleProb, windowNs float64) *StatProfile {
 // StatCurrents returns the per-instance average current (mA) drawn under
 // the statistical model, the input of the vector-less IR-drop analysis.
 func StatCurrents(d *netlist.Design, toggleProb, windowNs float64) []float64 {
-	out := make([]float64, d.NumInsts())
+	return StatCurrentsInto(nil, d, toggleProb, windowNs)
+}
+
+// StatCurrentsInto is StatCurrents writing into a reusable per-instance
+// buffer (grown if needed, fully overwritten, returned), so repeated
+// statistical solves — the two Table-3 windows, Monte-Carlo baselines,
+// grid calibration — stop allocating a currents vector per call.
+func StatCurrentsInto(dst []float64, d *netlist.Design, toggleProb, windowNs float64) []float64 {
+	if len(dst) != d.NumInsts() {
+		dst = make([]float64, d.NumInsts())
+	}
 	if windowNs <= 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	vdd := d.Lib.VDD
 	for i := range d.Insts {
 		e := toggleProb * d.LoadCap(netlist.InstID(i)) * vdd * vdd
-		out[i] = e / (vdd * windowNs) * 1e-3
+		dst[i] = e / (vdd * windowNs) * 1e-3
 	}
-	return out
+	return dst
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"scap/internal/cell"
@@ -91,23 +90,59 @@ type event struct {
 	val logic.V
 }
 
+// eventQueue is a value-typed binary min-heap ordered by (t, seq). A
+// hand-rolled heap instead of container/heap: the interface{} Push/Pop
+// of the standard library boxes every event onto the garbage-collected
+// heap, one allocation per scheduled transition, which dominated the
+// allocation profile of the timing hot loop. Values sift in place here.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+// push appends e and sifts it up to its heap position.
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The caller must check
+// emptiness first.
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Launch runs one at-speed launch-to-capture cycle:
@@ -193,7 +228,7 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 		lastSched[n] = t
 		lastSeq[n] = seq
 		eventsOn[n]++
-		heap.Push(&q, event{t: t, seq: seq, net: n, val: v})
+		q.push(event{t: t, seq: seq, net: n, val: v})
 		seq++
 	}
 
@@ -212,8 +247,8 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 
 	horizon := 4 * period // safety: glitch tails beyond this are abandoned
 	var buf [4]logic.V
-	for q.Len() > 0 {
-		ev := heap.Pop(&q).(event)
+	for len(q) > 0 {
+		ev := q.pop()
 		if voided[ev.seq] {
 			delete(voided, ev.seq)
 			continue
@@ -222,7 +257,7 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 			lastSeq[ev.net] = -1 // no longer cancellable
 		}
 		if ev.t > horizon {
-			res.Suppressed += q.Len() + 1
+			res.Suppressed += len(q) + 1
 			break
 		}
 		old := nets[ev.net]
