@@ -1,6 +1,6 @@
 # Convenience targets for the scap reproduction.
 
-.PHONY: test test-race bench bench-json check repro flow cover fmt vet
+.PHONY: test test-race bench bench-json check repro flow report cover fmt vet
 
 test:
 	go test ./...
@@ -20,7 +20,7 @@ bench:
 # (ns/op, B/op, allocs/op and extra metrics per benchmark) so regressions
 # are comparable across PRs.
 bench-json:
-	go test -run '^$$' -bench 'Solve|Factor|Pgrid|IRDrop|ProfilePatterns' -benchmem . | go run ./cmd/benchjson > BENCH_pgrid.json
+	go test -run '^$$' -bench 'Solve|Factor|Pgrid|IRDrop|ProfilePatterns' -benchmem . | go run ./cmd/benchjson -o BENCH_pgrid.json
 
 # CI-style tier-1 verify in one command.
 check:
@@ -35,6 +35,11 @@ repro:
 # One-shot release pipeline: all artifacts under flow_out/.
 flow:
 	go run ./cmd/flow -scale 8 -out flow_out
+
+# Instrumented flow run: stage-span trace, solver/pool counters and the
+# versioned JSON run report under flow_out/ (see DESIGN.md "Observability").
+report:
+	go run ./cmd/flow -scale 8 -out flow_out -report flow_out/run_report.json
 
 cover:
 	go test ./... -coverprofile=cover.out && go tool cover -func=cover.out | tail -1

@@ -1,22 +1,31 @@
 // Command benchjson converts `go test -bench` text output on stdin into
-// a JSON array on stdout — one object per benchmark line with the
-// iteration count and every reported metric (ns/op, B/op, allocs/op and
-// any b.ReportMetric extras) keyed by unit. The raw text is echoed to
-// stderr so a piped run stays watchable.
+// a versioned JSON bench report — one result object per benchmark line
+// with the iteration count and every reported metric (ns/op, B/op,
+// allocs/op and any b.ReportMetric extras) keyed by unit, plus the run's
+// provenance (git SHA, Go version, GOMAXPROCS, hostname) so two bench
+// files can be compared knowing what produced them. The raw text is
+// echoed to stderr so a piped run stays watchable.
 //
 // Usage (see the Makefile's bench-json target):
 //
-//	go test -run '^$' -bench Solve -benchmem . | benchjson > BENCH_pgrid.json
+//	go test -run '^$' -bench Solve -benchmem . | benchjson -o BENCH_pgrid.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"scap/internal/obs"
 )
+
+// benchSchemaVersion identifies the bench-report layout; bump on any
+// incompatible change so downstream comparers can refuse mixed files.
+const benchSchemaVersion = "scap/bench-report/v1"
 
 type result struct {
 	Name       string             `json:"name"`
@@ -24,8 +33,38 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+type benchReport struct {
+	Schema     string         `json:"schema"`
+	Provenance obs.Provenance `json:"provenance"`
+	Results    []result       `json:"results"`
+}
+
 func main() {
-	out := []result{}
+	outPath := ""
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o", "--o":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -o requires a file argument")
+				os.Exit(2)
+			}
+			i++
+			outPath = args[i]
+		case "-h", "--help":
+			fmt.Fprintln(os.Stderr, "usage: go test -bench ... | benchjson [-o FILE]")
+			os.Exit(2)
+		default:
+			fmt.Fprintln(os.Stderr, "benchjson: unknown flag", args[i])
+			os.Exit(2)
+		}
+	}
+
+	rep := benchReport{
+		Schema:     benchSchemaVersion,
+		Provenance: obs.CollectProvenance(),
+		Results:    []result{},
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,16 +94,41 @@ func main() {
 			}
 			r.Metrics[fields[i+1]] = v
 		}
-		out = append(out, r)
+		rep.Results = append(rep.Results, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := writeReport(outPath, &rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// writeReport encodes the report to path ("" or "-" = stdout), checking
+// every write so a full disk or broken pipe fails loudly instead of
+// leaving a silently truncated bench file.
+func writeReport(path string, rep *benchReport) error {
+	var w io.Writer = os.Stdout
+	if path != "" && path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: wrote", path)
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

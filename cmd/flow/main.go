@@ -7,6 +7,7 @@
 // Usage:
 //
 //	flow [-scale N] [-out dir] [-workers W] [-solver factored|sor] [-cpuprofile F] [-memprofile F]
+//	     [-report F.json] [-metrics-addr :6060]
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"time"
 
 	"scap/internal/core"
+	"scap/internal/obs"
+	"scap/internal/parallel"
 	"scap/internal/parasitic"
 	"scap/internal/pattern"
 	"scap/internal/sdf"
@@ -33,10 +36,14 @@ func main() {
 	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at flow end to this file")
+	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
+	die(parallel.ValidateWorkers(*workers))
 	solver, err := core.ParseSolver(*solverName)
 	die(err)
+	die(obs.SetupCLI(*report, *metricsAddr))
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		die(err)
@@ -126,6 +133,7 @@ func main() {
 		die(f.Close())
 		fmt.Printf("  wrote %s\n", *memprofile)
 	}
+	die(obs.FinishCLI(os.Stdout, "flow", *report, sys.Cfg))
 	fmt.Printf("flow complete in %v\n", time.Since(t0).Round(time.Millisecond))
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W] [-solver factored|sor]
+//	       [-report F.json] [-metrics-addr :6060]
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 
 	"scap/internal/core"
 	"scap/internal/ftas"
+	"scap/internal/obs"
+	"scap/internal/parallel"
 	"scap/internal/soc"
 	"scap/internal/textplot"
 )
@@ -30,7 +33,12 @@ func main() {
 	doFTAS := flag.Bool("ftas", false, "run the faster-than-at-speed overkill sweep")
 	workers := flag.Int("workers", 0, "analysis workers (0 = all cores, 1 = serial)")
 	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
+	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	die(parallel.ValidateWorkers(*workers))
+	die(obs.SetupCLI(*report, *metricsAddr))
 
 	model := core.ModelSCAP
 	if *modelName == "CAP" {
@@ -51,6 +59,9 @@ func main() {
 	cfg.Solver = solver
 	sys, err := core.Build(cfg)
 	die(err)
+	// irdrop returns early from several analysis tiers; the deferred finish
+	// emits the report/summary on every successful path.
+	defer func() { die(obs.FinishCLI(os.Stdout, "irdrop", *report, sys.Cfg)) }()
 	stat, err := sys.Statistical()
 	die(err)
 	fmt.Printf("statistical vector-less analysis (%v):\n", time.Since(t0).Round(time.Millisecond))

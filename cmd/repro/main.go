@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"scap/internal/parallel"
 	"scap/internal/repro"
 )
 
@@ -27,6 +28,10 @@ func main() {
 	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
+	if err := parallel.ValidateWorkers(*workers); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
 	if *list {
 		for _, id := range repro.Experiments {
 			fmt.Println(id)

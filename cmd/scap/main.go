@@ -6,6 +6,7 @@
 // Usage:
 //
 //	scap [-scale N] [-flow conventional|new] [-block B5] [-top K] [-plot] [-workers W]
+//	     [-report F.json] [-metrics-addr :6060]
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"time"
 
 	"scap/internal/core"
+	"scap/internal/obs"
+	"scap/internal/parallel"
 	"scap/internal/power"
 	"scap/internal/sim"
 	"scap/internal/soc"
@@ -30,7 +33,12 @@ func main() {
 	plot := flag.Bool("plot", false, "render the SCAP scatter plot")
 	waveform := flag.Bool("waveform", false, "render the hottest pattern's instantaneous power waveform")
 	workers := flag.Int("workers", 0, "pattern-profiling workers (0 = all cores, 1 = serial)")
+	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	die(parallel.ValidateWorkers(*workers))
+	die(obs.SetupCLI(*report, *metricsAddr))
 
 	block := -1
 	for b := 0; b < soc.NumBlocks; b++ {
@@ -108,6 +116,7 @@ func main() {
 				hot, w.PeakMW(), rep.Chip().CAPVdd+rep.Chip().CAPVss,
 				rep.Chip().SCAPVdd+rep.Chip().SCAPVss), "mW"))
 	}
+	die(obs.FinishCLI(os.Stdout, "scap", *report, sys.Cfg))
 }
 
 func die(err error) {

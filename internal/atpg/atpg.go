@@ -2,12 +2,24 @@ package atpg
 
 import (
 	"fmt"
+	"time"
 
 	"scap/internal/fault"
 	"scap/internal/faultsim"
 	"scap/internal/logic"
 	"scap/internal/netlist"
+	"scap/internal/obs"
 	"scap/internal/scan"
+)
+
+// ATPG observability: the fill/expansion step is attributed separately
+// from generation (it runs once per emitted pattern), timed only while
+// instrumentation is enabled and flushed once per Run.
+var (
+	cATPGRuns     = obs.NewCounter("atpg.runs")
+	cATPGPatterns = obs.NewCounter("atpg.patterns")
+	cFillExpand   = obs.NewCounter("atpg.fill_expansions")
+	cFillBusyNs   = obs.NewCounter("atpg.fill_busy_ns")
 )
 
 // Options configures one ATPG run.
@@ -80,6 +92,7 @@ type Result struct {
 // drop collaterally detected faults. The fault list l is updated in place
 // (statuses, detecting pattern indexes).
 func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result, error) {
+	defer obs.StartSpan("atpg").End()
 	d := l.D
 	if opts.BacktrackLimit <= 0 {
 		opts.BacktrackLimit = 64
@@ -179,6 +192,8 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 	if maxSec == 0 {
 		maxSec = 32
 	}
+	measureFill := obs.On()
+	var fillBusy int64
 	for si, fi := range subset {
 		if opts.MaxPatterns > 0 && len(res.Patterns) >= opts.MaxPatterns {
 			break
@@ -223,7 +238,14 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 				secondaries = append(secondaries, fj)
 			}
 		}
+		var fillT0 time.Time
+		if measureFill {
+			fillT0 = time.Now()
+		}
 		v1, pis := fil.Expand(cube)
+		if measureFill {
+			fillBusy += time.Since(fillT0).Nanoseconds()
+		}
 		patIdx := opts.PatternBase + len(res.Patterns)
 		res.Patterns = append(res.Patterns, Pattern{
 			V1: v1, PIs: pis, Target: fi, Secondaries: secondaries,
@@ -240,6 +262,10 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 	}
 	flush()
 
+	cATPGRuns.Add(1)
+	cATPGPatterns.Add(int64(len(res.Patterns)))
+	cFillExpand.Add(int64(len(res.Patterns)))
+	cFillBusyNs.Add(fillBusy)
 	res.Counts = l.CountOf(subset)
 	return res, nil
 }

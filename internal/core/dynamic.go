@@ -5,6 +5,7 @@ import (
 
 	"scap/internal/atpg"
 	"scap/internal/delayscale"
+	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/pgrid"
 	"scap/internal/power"
@@ -46,6 +47,7 @@ type DynamicIR struct {
 // switching energy (the VCD-less PLI path), converts it to per-instance
 // currents over the model's window, and solves both rail meshes.
 func (sys *System) DynamicIRDrop(p *atpg.Pattern, dom int, model PowerModel) (*DynamicIR, error) {
+	defer obs.StartSpan("dynamic-irdrop").End()
 	d := sys.D
 	meter := power.NewMeter(d)
 	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
@@ -123,6 +125,7 @@ type irScratch struct {
 // the results are again identical for any worker count (each solve
 // still runs to the grid's own tolerance).
 func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropSummary, error) {
+	defer obs.StartSpan("dynamic-irdrop-all").End()
 	n := len(fr.Patterns)
 	out := make([]IRDropSummary, n)
 	if n == 0 {
@@ -235,6 +238,8 @@ func (sys *System) DelayImpact(p *atpg.Pattern, dom int) (*delayscale.Impact, *D
 	if err != nil {
 		return nil, nil, err
 	}
+	resim := obs.StartSpan("resimulation")
+	defer resim.End()
 	v2 := sys.LaunchState(p.V1, p.PIs, dom)
 	imp, err := delayscale.Compare(sys.Sim, sys.Delays, sys.Tree,
 		sys.GridVDD, dyn.CombinedDrop(), sys.D.Lib.KVolt,

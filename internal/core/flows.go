@@ -5,6 +5,7 @@ import (
 
 	"scap/internal/atpg"
 	"scap/internal/fault"
+	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/power"
 	"scap/internal/sim"
@@ -29,6 +30,7 @@ type FlowResult struct {
 // run over the whole domain with random fill for maximal fortuitous
 // detection — and maximal switching activity.
 func (sys *System) ConventionalFlow(dom int) (*FlowResult, error) {
+	defer obs.StartSpan("flow:conventional").End()
 	l := sys.NewFaultList()
 	res, err := sys.ATPG(l, atpg.Options{
 		Dom: dom, Fill: atpg.FillRandom, Seed: sys.Cfg.Seed + 10,
@@ -61,14 +63,17 @@ func (sys *System) NewProcedureFlow(dom int) (*FlowResult, error) {
 // so the per-pattern care density — and with it the launch activity that
 // fill-0 cannot suppress — stays scale-invariant.
 func (sys *System) StepFlow(name string, dom int, steps [][]int, fill atpg.Fill) (*FlowResult, error) {
+	defer obs.StartSpan("flow:" + name).End()
 	l := sys.NewFaultList()
 	var all []atpg.Pattern
 	for si, blocks := range steps {
 		budget := sys.careBudget(dom, blocks)
+		step := obs.StartSpan(fmt.Sprintf("step%d", si+1))
 		res, err := sys.ATPG(l, atpg.Options{
 			Dom: dom, Fill: fill, Seed: sys.Cfg.Seed + 20 + int64(si),
 			Blocks: blocks, PatternBase: len(all), CareBudget: budget,
 		})
+		step.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: step %d: %w", si+1, err)
 		}
@@ -177,6 +182,7 @@ func (sys *System) profPool(workers int) []profScratch {
 // owning a cloned meter and timing simulator; every pattern writes only
 // its own slot, so the output is identical for any worker count.
 func (sys *System) ProfilePatterns(fr *FlowResult) ([]PatternProfile, error) {
+	defer obs.StartSpan("profile-patterns").End()
 	workers := parallel.Resolve(sys.Workers)
 	if workers > len(fr.Patterns) && len(fr.Patterns) > 0 {
 		workers = len(fr.Patterns)
@@ -237,6 +243,7 @@ type DomainSummary struct {
 // generates "transition fault test patterns per clock domain") and returns
 // the per-domain summaries plus chip totals.
 func (sys *System) FullChip() ([]DomainSummary, fault.Counts, error) {
+	defer obs.StartSpan("full-chip").End()
 	l := sys.NewFaultList()
 	var out []DomainSummary
 	var total fault.Counts

@@ -7,6 +7,7 @@ import (
 
 	"scap/internal/fault"
 	"scap/internal/logic"
+	"scap/internal/obs"
 	"scap/internal/sim"
 )
 
@@ -43,6 +44,7 @@ type QualityReport struct {
 // flow, the timing-simulated delay of the paths their detecting patterns
 // exercise. Faults are graded against their first detecting pattern.
 func (sys *System) GradeDetections(fr *FlowResult, maxFaults int) (*QualityReport, error) {
+	defer obs.StartSpan("grade-detections").End()
 	if maxFaults <= 0 {
 		maxFaults = 1 << 30
 	}

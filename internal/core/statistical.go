@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"scap/internal/netlist"
+	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/pgrid"
 	"scap/internal/power"
@@ -38,6 +39,7 @@ type StatAnalysis struct {
 
 // Statistical runs the paper's Section 2.2 analysis on both windows.
 func (sys *System) Statistical() (*StatAnalysis, error) {
+	defer obs.StartSpan("statistical").End()
 	an := &StatAnalysis{ToggleProb: sys.Cfg.ToggleProb, HotBlock: -1}
 	var cur []float64 // per-instance currents buffer shared by both windows
 	for i, window := range []float64{sys.Period, sys.Period / 2} {
@@ -124,6 +126,7 @@ type MCResult struct {
 // SOR fallback, warm-starts from the shared deterministic baseline), so
 // the result is identical for any worker count.
 func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
+	defer obs.StartSpan("monte-carlo-irdrop").End()
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: trials must be positive")
 	}

@@ -21,6 +21,7 @@ import (
 	"scap/internal/faultsim"
 	"scap/internal/logic"
 	"scap/internal/netlist"
+	"scap/internal/obs"
 	"scap/internal/parasitic"
 	"scap/internal/pgrid"
 	"scap/internal/place"
@@ -115,6 +116,7 @@ type System struct {
 
 // Build constructs the complete system.
 func Build(cfg Config) (*System, error) {
+	defer obs.StartSpan("build").End()
 	d, plan, err := soc.Generate(cfg.SOC)
 	if err != nil {
 		return nil, fmt.Errorf("core: generate: %w", err)
@@ -157,6 +159,7 @@ func Build(cfg Config) (*System, error) {
 // mesh impedance so the statistical Case-2 worst drop in the hottest block
 // matches the configured target.
 func (sys *System) buildGrids() error {
+	defer obs.StartSpan("grid-calibration").End()
 	mk := func(p pgrid.Params) (*pgrid.Grid, *pgrid.Grid, error) {
 		vdd, err := pgrid.New(sys.FP, p)
 		if err != nil {

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// SetupCLI wires the standard observability flags of a CLI: if either
+// -report or -metrics-addr was given, instrumentation is enabled (and
+// the metrics listener started). Call right after flag parsing, before
+// any instrumented work.
+func SetupCLI(reportPath, metricsAddr string) error {
+	if reportPath == "" && metricsAddr == "" {
+		return nil
+	}
+	Enable()
+	if metricsAddr != "" {
+		return ServeMetrics(metricsAddr)
+	}
+	return nil
+}
+
+// FinishCLI is the matching exit hook: it builds the run report, writes
+// it to reportPath when non-empty, and prints the human-readable stage
+// summary to w. A no-op while instrumentation is disabled.
+func FinishCLI(w io.Writer, tool, reportPath string, config any) error {
+	if !On() {
+		return nil
+	}
+	r := BuildReport(tool, config)
+	if reportPath != "" {
+		if err := r.WriteFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", reportPath)
+	}
+	fmt.Fprint(w, "\n", r.SummaryTable())
+	return nil
+}

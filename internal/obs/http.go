@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// ServeMetrics starts an HTTP listener on addr (e.g. ":6060") serving
+//
+//   - /debug/vars — expvar, including a "scap" variable holding the
+//     live run-report snapshot (counters, gauges, histograms, stages);
+//   - /debug/pprof/ — the standard pprof index, profiles and trace.
+//
+// It returns once the listener is bound (so a bad address fails fast)
+// and serves in a background goroutine for the life of the process —
+// the intended use is watching long flow/irdrop runs live.
+func ServeMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("scap", expvar.Func(func() any {
+			return BuildReport("live", nil)
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck — serves until process exit
+	return nil
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"scap/internal/textplot"
+)
+
+// SchemaVersion identifies the run-report JSON layout. Bump it on any
+// structural change; the golden-file test pins the current shape.
+const SchemaVersion = "scap/run-report/v1"
+
+// Provenance records where and how a report was produced, so numbers
+// stay comparable across machines and commits.
+type Provenance struct {
+	GitSHA     string `json:"git_sha"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Hostname   string `json:"hostname"`
+}
+
+// CollectProvenance gathers the current build/host provenance. The git
+// SHA comes from the binary's embedded VCS stamp when present, and
+// otherwise from walking up to the repo's .git/HEAD (the `go run` and
+// `go test` paths, which build without VCS stamping).
+func CollectProvenance() Provenance {
+	host, _ := os.Hostname()
+	return Provenance{
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Hostname:   host,
+	}
+}
+
+// gitSHA resolves the current commit without shelling out to git.
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head, err := os.ReadFile(filepath.Join(dir, ".git", "HEAD"))
+		if err == nil {
+			return resolveHead(filepath.Join(dir, ".git"), strings.TrimSpace(string(head)))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// resolveHead dereferences a symbolic HEAD ("ref: refs/heads/x") via
+// the loose ref file or packed-refs; a detached HEAD is already a SHA.
+func resolveHead(gitDir, head string) string {
+	ref, ok := strings.CutPrefix(head, "ref: ")
+	if !ok {
+		return head
+	}
+	if b, err := os.ReadFile(filepath.Join(gitDir, ref)); err == nil {
+		return strings.TrimSpace(string(b))
+	}
+	if b, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if sha, name, ok := strings.Cut(line, " "); ok && name == ref {
+				return sha
+			}
+		}
+	}
+	return ""
+}
+
+// SpanReport is one serialized stage span. Times are milliseconds
+// relative to the first span of the run.
+type SpanReport struct {
+	Name      string        `json:"name"`
+	StartMs   float64       `json:"start_ms"`
+	WallMs    float64       `json:"wall_ms"`
+	Goroutine int64         `json:"goroutine"`
+	Children  []*SpanReport `json:"children,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket: Lo is the inclusive
+// power-of-two lower bound of the bucket's range.
+type HistBucket struct {
+	Lo    float64 `json:"lo"`
+	Count int64   `json:"count"`
+}
+
+// HistogramReport serializes one bounded histogram.
+type HistogramReport struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Report is the versioned machine-readable run report the -report flag
+// emits. Map keys marshal sorted, so the JSON is stable for a given
+// run.
+type Report struct {
+	Schema     string                     `json:"schema"`
+	Tool       string                     `json:"tool"`
+	Provenance Provenance                 `json:"provenance"`
+	Config     any                        `json:"config,omitempty"`
+	Stages     []*SpanReport              `json:"stages,omitempty"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+	Gauges     map[string]int64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramReport `json:"histograms,omitempty"`
+	PerWorker  map[string][]int64         `json:"per_worker,omitempty"`
+	Derived    map[string]float64         `json:"derived,omitempty"`
+}
+
+// BuildReport snapshots the registry and span tree into a Report.
+// config (optional) is embedded verbatim — the CLIs pass their resolved
+// core.Config so a report is self-describing.
+func BuildReport(tool string, config any) *Report {
+	r := &Report{
+		Schema:     SchemaVersion,
+		Tool:       tool,
+		Provenance: CollectProvenance(),
+		Config:     config,
+	}
+
+	reg.mu.Lock()
+	counters := make(map[string]int64, len(reg.counters))
+	for name, c := range reg.counters {
+		counters[name] = c.Value()
+	}
+	if len(counters) > 0 {
+		r.Counters = counters
+	}
+	if len(reg.gauges) > 0 {
+		r.Gauges = make(map[string]int64, len(reg.gauges))
+		for name, g := range reg.gauges {
+			r.Gauges[name] = g.Value()
+		}
+	}
+	if len(reg.hists) > 0 {
+		r.Histograms = make(map[string]HistogramReport, len(reg.hists))
+		for name, h := range reg.hists {
+			r.Histograms[name] = histReport(h)
+		}
+	}
+	for name, p := range reg.perWorker {
+		if snap := p.Snapshot(); len(snap) > 0 {
+			if r.PerWorker == nil {
+				r.PerWorker = map[string][]int64{}
+			}
+			r.PerWorker[name] = snap
+		}
+	}
+	for name, fn := range reg.derived {
+		if v, ok := fn(counters); ok {
+			if r.Derived == nil {
+				r.Derived = map[string]float64{}
+			}
+			r.Derived[name] = v
+		}
+	}
+	reg.mu.Unlock()
+
+	trace.mu.Lock()
+	for _, s := range trace.roots {
+		r.Stages = append(r.Stages, spanReport(s, trace.epoch))
+	}
+	trace.mu.Unlock()
+	return r
+}
+
+func histReport(h *Histogram) HistogramReport {
+	out := HistogramReport{Count: h.Count(), Sum: h.Sum()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Lo: bucketLo(i), Count: n})
+		}
+	}
+	return out
+}
+
+func spanReport(s *Span, epoch time.Time) *SpanReport {
+	end := s.end
+	if end.IsZero() {
+		end = timeNow() // still-open span: report progress so far
+	}
+	sr := &SpanReport{
+		Name:      s.name,
+		StartMs:   float64(s.start.Sub(epoch)) / float64(time.Millisecond),
+		WallMs:    float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Goroutine: s.goroutine,
+	}
+	for _, c := range s.children {
+		sr.Children = append(sr.Children, spanReport(c, epoch))
+	}
+	return sr
+}
+
+// WriteFile marshals the report as indented JSON to path, checking
+// every write error including Close.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: report: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: report encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: report close: %w", err)
+	}
+	return nil
+}
+
+// SummaryTable renders the report's stage tree as the human-readable
+// table the CLIs print at exit, with key counters appended.
+func (r *Report) SummaryTable() string {
+	var rows []textplot.StageRow
+	var walk func(s *SpanReport, depth int)
+	walk = func(s *SpanReport, depth int) {
+		rows = append(rows, textplot.StageRow{
+			Label: strings.Repeat("  ", depth) + s.Name,
+			Ms:    s.WallMs,
+		})
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range r.Stages {
+		walk(s, 0)
+	}
+	var b strings.Builder
+	b.WriteString(textplot.StageTable(rows, 32, "stage summary"))
+	if len(r.Derived) > 0 {
+		keys := make([]string, 0, len(r.Derived))
+		for k := range r.Derived {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s = %.4g\n", k, r.Derived[k])
+		}
+	}
+	return b.String()
+}

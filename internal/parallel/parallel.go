@@ -15,10 +15,37 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"scap/internal/obs"
 )
+
+// Pool observability: tasks dealt, per-worker busy time and pool
+// utilization (busy / capacity). Timing is only taken while
+// instrumentation is enabled; workers accumulate locally and flush
+// once per For call.
+var (
+	cPoolRuns  = obs.NewCounter("parallel.runs")
+	cPoolTasks = obs.NewCounter("parallel.tasks")
+	cBusyNs    = obs.NewCounter("parallel.busy_ns")
+	cCapNs     = obs.NewCounter("parallel.capacity_ns")
+	pwBusyNs   = obs.NewPerWorker("parallel.worker_busy_ns")
+	pwTasks    = obs.NewPerWorker("parallel.worker_tasks")
+)
+
+func init() {
+	obs.RegisterDerived("parallel.utilization", func(c map[string]int64) (float64, bool) {
+		busy, capacity := c["parallel.busy_ns"], c["parallel.capacity_ns"]
+		if capacity <= 0 {
+			return 0, false
+		}
+		return float64(busy) / float64(capacity), true
+	})
+}
 
 // Resolve normalizes a Workers knob: any value <= 0 means "all cores"
 // (runtime.GOMAXPROCS), 1 forces the exact serial path, larger values
@@ -28,6 +55,18 @@ func Resolve(workers int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return workers
+}
+
+// ValidateWorkers rejects the -workers flag values the pool cannot
+// honor. The programmatic knob treats every non-positive value as "all
+// cores", but on a command line a negative count is almost certainly a
+// typo that would silently fan out anyway — the CLIs call this right
+// after flag parsing and error out instead.
+func ValidateWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 = all cores, 1 = serial, N = N workers)", workers)
+	}
+	return nil
 }
 
 // For runs body(worker, i) once for every i in [0, n), fanned across
@@ -51,12 +90,32 @@ func For(workers, n int, body func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	measure := obs.On()
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
 	if workers == 1 {
+		// Serial path: the one worker is busy for the whole wall time.
+		flush := func(tasks int64) {
+			if !measure {
+				return
+			}
+			busy := time.Since(t0).Nanoseconds()
+			cPoolRuns.Add(1)
+			cPoolTasks.Add(tasks)
+			cBusyNs.Add(busy)
+			cCapNs.Add(busy)
+			pwBusyNs.Add(0, busy)
+			pwTasks.Add(0, tasks)
+		}
 		for i := 0; i < n; i++ {
 			if err := body(0, i); err != nil {
+				flush(int64(i))
 				return err
 			}
 		}
+		flush(int64(n))
 		return nil
 	}
 
@@ -68,28 +127,55 @@ func For(workers, n int, body func(worker, i int) error) error {
 		mu       sync.Mutex
 		firstIdx = n
 		firstErr error
+
+		tasksDone atomic.Int64
+		busyTotal atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var busy int64
+			var tasks int64
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
-				if err := body(w, i); err != nil {
+				var ts time.Time
+				if measure {
+					ts = time.Now()
+				}
+				err := body(w, i)
+				if measure {
+					busy += time.Since(ts).Nanoseconds()
+					tasks++
+				}
+				if err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
 					}
 					mu.Unlock()
 					failed.Store(true)
-					return
+					break
 				}
+			}
+			if measure {
+				busyTotal.Add(busy)
+				tasksDone.Add(tasks)
+				pwBusyNs.Add(w, busy)
+				pwTasks.Add(w, tasks)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if measure {
+		wall := time.Since(t0).Nanoseconds()
+		cPoolRuns.Add(1)
+		cPoolTasks.Add(tasksDone.Load())
+		cBusyNs.Add(busyTotal.Load())
+		cCapNs.Add(wall * int64(workers))
+	}
 	return firstErr
 }

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"scap/internal/obs"
 )
 
 func TestResolve(t *testing.T) {
@@ -87,6 +90,59 @@ func TestForErrorStopsAndSurfacesSmallestIndex(t *testing.T) {
 	})
 	if err == nil || err.Error() != "index 10: boom" {
 		t.Fatalf("serial error = %v, want index 10", err)
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	for _, w := range []int{0, 1, 8, 1000} {
+		if err := ValidateWorkers(w); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", w, err)
+		}
+	}
+	err := ValidateWorkers(-1)
+	if err == nil {
+		t.Fatal("ValidateWorkers(-1) accepted a negative count")
+	}
+	if !strings.Contains(err.Error(), "invalid -workers -1") {
+		t.Errorf("error %q does not name the bad flag value", err)
+	}
+}
+
+// TestForFlushesPoolMetrics checks that both the serial and pooled
+// paths flush run/task counters once per For call when instrumentation
+// is enabled, and record nothing while disabled.
+func TestForFlushesPoolMetrics(t *testing.T) {
+	runsOff, tasksOff := cPoolRuns.Value(), cPoolTasks.Value()
+	if err := For(4, 50, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if cPoolRuns.Value() != runsOff || cPoolTasks.Value() != tasksOff {
+		t.Fatalf("disabled run recorded metrics: runs=%d tasks=%d",
+			cPoolRuns.Value()-runsOff, cPoolTasks.Value()-tasksOff)
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	runs0, tasks0, cap0 := cPoolRuns.Value(), cPoolTasks.Value(), cCapNs.Value()
+	if err := For(4, 100, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := cPoolRuns.Value() - runs0; got != 1 {
+		t.Errorf("pooled For flushed %d runs, want 1", got)
+	}
+	if got := cPoolTasks.Value() - tasks0; got != 100 {
+		t.Errorf("pooled For flushed %d tasks, want 100", got)
+	}
+	if cCapNs.Value() <= cap0 {
+		t.Error("pooled For did not record capacity time")
+	}
+
+	runs0, tasks0 = cPoolRuns.Value(), cPoolTasks.Value()
+	if err := For(1, 10, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got, gotT := cPoolRuns.Value()-runs0, cPoolTasks.Value()-tasks0; got != 1 || gotT != 10 {
+		t.Errorf("serial For flushed runs=%d tasks=%d, want 1/10", got, gotT)
 	}
 }
 

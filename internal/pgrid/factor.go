@@ -1,6 +1,19 @@
 package pgrid
 
-import "fmt"
+import (
+	"fmt"
+
+	"scap/internal/obs"
+)
+
+// Factored-path observability: calls vs builds distinguishes cache
+// hits; each SolveFactored is exactly two banded triangular sweeps.
+var (
+	cFactorCalls = obs.NewCounter("pgrid.factor.calls")
+	cFactorBuild = obs.NewCounter("pgrid.factor.builds")
+	cFactSolves  = obs.NewCounter("pgrid.factored.solves")
+	cFactSweeps  = obs.NewCounter("pgrid.factored.triangular_sweeps")
+)
 
 // Factorization is the banded LDLᵀ (root-free Cholesky) factorization of
 // the mesh conductance matrix G. The 5-point stencil on an n×n mesh gives
@@ -30,7 +43,11 @@ type Factorization struct {
 // first use. The computation is guarded by a sync.Once, so concurrent
 // first callers block until one factorization exists and then share it.
 func (g *Grid) Factor() (*Factorization, error) {
-	g.factOnce.Do(func() { g.fact, g.factErr = factorize(g) })
+	cFactorCalls.Add(1)
+	g.factOnce.Do(func() {
+		cFactorBuild.Add(1)
+		g.fact, g.factErr = factorize(g)
+	})
 	return g.fact, g.factErr
 }
 
@@ -179,5 +196,7 @@ func (g *Grid) SolveFactored(injMA []float64, reuse *Solution, scratch *SolveScr
 			sol.Worst = v[i]
 		}
 	}
+	cFactSolves.Add(1)
+	cFactSweeps.Add(2)
 	return sol, nil
 }

@@ -26,8 +26,26 @@ import (
 	"sync"
 
 	"scap/internal/netlist"
+	"scap/internal/obs"
 	"scap/internal/place"
 )
+
+// Solver observability (see DESIGN.md §10): one flush per solve, never
+// per sweep, so the disabled cost is a handful of gated atomic loads
+// against an O(N²·sweeps) or O(N³) solve.
+var (
+	cSORSolves   = obs.NewCounter("pgrid.sor.solves")
+	cSORSweeps   = obs.NewCounter("pgrid.sor.sweeps")
+	hSORResidual = obs.NewHistogram("pgrid.sor.final_residual_v")
+)
+
+func init() {
+	// Cache hits are Factor() calls that found the factorization built.
+	obs.RegisterDerived("pgrid.factor.cache_hits", func(c map[string]int64) (float64, bool) {
+		calls, builds := c["pgrid.factor.calls"], c["pgrid.factor.builds"]
+		return float64(calls - builds), calls > 0
+	})
+}
 
 // Params configures the mesh and solver.
 type Params struct {
@@ -232,6 +250,7 @@ func (g *Grid) SolveWarm(injMA, warm []float64, reuse *Solution) (*Solution, err
 
 	gseg := 1 / g.P.SegRes
 	converged := false
+	lastDelta := 0.0
 	for iter := 1; iter <= g.P.MaxIter; iter++ {
 		maxDelta := 0.0
 		for iy := 0; iy < n; iy++ {
@@ -264,7 +283,8 @@ func (g *Grid) SolveWarm(injMA, warm []float64, reuse *Solution) (*Solution, err
 			}
 		}
 		sol.Iterations = iter
-		if maxDelta*1e-3 < g.P.Tol { // mV -> V
+		lastDelta = maxDelta * 1e-3 // mV -> V
+		if lastDelta < g.P.Tol {
 			converged = true
 			break
 		}
@@ -272,6 +292,9 @@ func (g *Grid) SolveWarm(injMA, warm []float64, reuse *Solution) (*Solution, err
 	if !converged {
 		return nil, fmt.Errorf("pgrid: SOR did not converge in %d iterations", g.P.MaxIter)
 	}
+	cSORSolves.Add(1)
+	cSORSweeps.Add(int64(sol.Iterations))
+	hSORResidual.Observe(lastDelta)
 	for i := range v {
 		v[i] *= 1e-3 // mV -> V
 		if v[i] > sol.Worst {

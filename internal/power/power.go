@@ -21,6 +21,15 @@ package power
 
 import (
 	"scap/internal/netlist"
+	"scap/internal/obs"
+)
+
+// Meter observability: OnToggle sits in the timing simulator's event
+// loop, so toggles are counted in a meter-local field and flushed to
+// the shared counter once per pattern (on Reset and ReportBlocks).
+var (
+	cMeterResets   = obs.NewCounter("power.meter_resets")
+	cTogglesMeterd = obs.NewCounter("power.toggles_metered")
 )
 
 // Rail selects the VDD or VSS accounting.
@@ -109,6 +118,11 @@ type Meter struct {
 	// waveform binning (see waveform.go); disabled when binNs <= 0.
 	binNs float64
 	bins  []float64
+
+	// unflushedToggles counts OnToggle calls since the last flush to the
+	// shared power.toggles_metered counter (kept local so the toggle hot
+	// path never touches an atomic).
+	unflushedToggles int64
 }
 
 // NewMeter builds a meter for a design whose parasitics are extracted
@@ -140,6 +154,8 @@ func (m *Meter) Clone() *Meter {
 // the meter sits in a per-pattern hot loop, and Report already copies
 // everything that escapes.
 func (m *Meter) Reset() {
+	cMeterResets.Add(1)
+	m.flushToggles()
 	m.instEnergy = resetF(m.instEnergy, m.d.NumInsts())
 	m.instEnergyVDD = resetF(m.instEnergyVDD, m.d.NumInsts())
 	m.instEnergyVSS = resetF(m.instEnergyVSS, m.d.NumInsts())
@@ -164,8 +180,18 @@ func resetF(s []float64, n int) []float64 {
 	return s
 }
 
+// flushToggles moves the meter-local toggle count into the shared
+// counter.
+func (m *Meter) flushToggles() {
+	if m.unflushedToggles > 0 {
+		cTogglesMeterd.Add(m.unflushedToggles)
+		m.unflushedToggles = 0
+	}
+}
+
 // OnToggle records one output transition; it has the sim.ToggleFn shape.
 func (m *Meter) OnToggle(inst netlist.InstID, t float64, rising bool) {
+	m.unflushedToggles++
 	e := m.capOf[inst] * m.vdd2
 	m.instEnergy[inst] += e
 	m.waveformAccumulate(t, e)
@@ -212,6 +238,7 @@ func (m *Meter) Report(period float64) *Profile {
 // energy-vector copies of Report that the pattern-profiling loop never
 // consumes. The returned slice is independent of the meter.
 func (m *Meter) ReportBlocks(period float64) []BlockPower {
+	m.flushToggles()
 	blocks := make([]BlockPower, len(m.blocks))
 	copy(blocks, m.blocks)
 	for i := range blocks {

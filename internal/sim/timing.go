@@ -6,7 +6,18 @@ import (
 	"scap/internal/cell"
 	"scap/internal/logic"
 	"scap/internal/netlist"
+	"scap/internal/obs"
 	"scap/internal/sdf"
+)
+
+// Event-loop observability: dispatched/suppressed counts and the queue
+// high-water mark are tracked in launch-local variables and flushed
+// once per Launch, so the event loop itself carries no atomic traffic.
+var (
+	cLaunches   = obs.NewCounter("sim.launches")
+	cDispatched = obs.NewCounter("sim.events_dispatched")
+	cSuppressed = obs.NewCounter("sim.events_suppressed")
+	gQueueHWM   = obs.NewGauge("sim.queue_high_water")
 )
 
 // Clock supplies per-flop clock arrival times (ns after the clock-source
@@ -247,8 +258,13 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 
 	horizon := 4 * period // safety: glitch tails beyond this are abandoned
 	var buf [4]logic.V
+	dispatched, queueHWM := 0, len(q)
 	for len(q) > 0 {
+		if len(q) > queueHWM {
+			queueHWM = len(q)
+		}
 		ev := q.pop()
+		dispatched++
 		if voided[ev.seq] {
 			delete(voided, ev.seq)
 			continue
@@ -310,5 +326,9 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 
 	res.STW = res.LastEvent
 	res.Nets = nets
+	cLaunches.Add(1)
+	cDispatched.Add(int64(dispatched))
+	cSuppressed.Add(int64(res.Suppressed))
+	gQueueHWM.Max(int64(queueHWM))
 	return res, nil
 }

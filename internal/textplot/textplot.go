@@ -223,6 +223,41 @@ func max(a, b int) int {
 	return b
 }
 
+// StageRow is one row of StageTable: a (possibly indented) stage label
+// and its wall time in milliseconds.
+type StageRow struct {
+	Label string
+	Ms    float64
+}
+
+// StageTable renders a run's stage tree (already flattened to indented
+// rows) as an aligned wall-time table with proportional bars — the
+// human-readable exit summary of the observability layer.
+func StageTable(rows []StageRow, width int, title string) string {
+	if len(rows) == 0 {
+		return title + ": (no stages)\n"
+	}
+	labelW, maxMs := 0, 0.0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		if r.Ms > maxMs {
+			maxMs = r.Ms
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (total wall includes nested stages)\n", title)
+	for _, r := range rows {
+		bar := 0
+		if maxMs > 0 {
+			bar = int(r.Ms / maxMs * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-*s %10.1f ms  %s\n", labelW, r.Label, r.Ms, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
 // Histogram renders labeled integer buckets as horizontal bars.
 func Histogram(counts []int, labels []string, width int, title string) string {
 	if len(counts) == 0 || len(counts) != len(labels) {
