@@ -16,11 +16,13 @@ bench:
 	go test -bench . -benchtime 1x -run ^$$ ./...
 
 # Machine-readable perf trajectory: run the power-grid solver and
-# profiling-pipeline benchmarks with -benchmem and emit BENCH_pgrid.json
-# (ns/op, B/op, allocs/op and extra metrics per benchmark) so regressions
-# are comparable across PRs.
+# profiling-pipeline benchmarks with -benchmem and emit BENCH_pgrid.json,
+# then the timing-simulation benchmarks into BENCH_sim.json (ns/op, B/op,
+# allocs/op and extra metrics per benchmark) so regressions are comparable
+# across PRs.
 bench-json:
 	go test -run '^$$' -bench 'Solve|Factor|Pgrid|IRDrop|ProfilePatterns' -benchmem . | go run ./cmd/benchjson -o BENCH_pgrid.json
+	go test -run '^$$' -bench 'Launch|TimingSimulation' -benchmem . | go run ./cmd/benchjson -o BENCH_sim.json
 
 # CI-style tier-1 verify in one command.
 check:

@@ -6,6 +6,7 @@ import (
 
 	"scap/internal/atpg"
 	"scap/internal/core"
+	"scap/internal/logic"
 	"scap/internal/pgrid"
 	"scap/internal/power"
 	"scap/internal/repro"
@@ -280,6 +281,74 @@ func BenchmarkTimingSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		meter.Reset()
 		if _, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLaunchWorkload precomputes the profiling workload the launch
+// benches cycle over: every pattern of the new-procedure flow (the
+// low-activity fill-0 set selective trace is built for) with its LOC v2.
+func benchLaunchWorkload(b *testing.B) (*core.System, []*atpg.Pattern, [][]logic.V) {
+	b.Helper()
+	r := benchRunner(b)
+	np, _, err := r.NewProcedure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	pats := make([]*atpg.Pattern, len(np.Patterns))
+	v2s := make([][]logic.V, len(np.Patterns))
+	for i := range np.Patterns {
+		pats[i] = &np.Patterns[i]
+		v2s[i] = sys.LaunchState(pats[i].V1, pats[i].PIs, 0)
+	}
+	return sys, pats, v2s
+}
+
+// BenchmarkLaunch / BenchmarkLaunchReuse are the headline pair of the
+// allocation-free scratch: the same pattern stream through the fresh
+// path (a new scratch + full settle per call) vs one reused per-worker
+// scratch (selective-trace settle, zero steady-state allocations). The
+// reuse path must be >= 2x cheaper in ns/op and >= 5x in allocs/op.
+func BenchmarkLaunch(b *testing.B) {
+	sys, pats, v2s := benchLaunchWorkload(b)
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(pats)
+		if _, err := tm.Launch(pats[k].V1, v2s[k], pats[k].PIs, sys.Period, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaunchReuse(b *testing.B) {
+	sys, pats, v2s := benchLaunchWorkload(b)
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	ls := sim.NewLaunchScratch(sys.Sim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(pats)
+		if _, err := tm.LaunchInto(ls, pats[k].V1, v2s[k], pats[k].PIs, sys.Period, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaunchResim re-launches one fixed pattern (the Monte-Carlo /
+// delayscale re-simulation shape): the cone cache skips settling
+// entirely, leaving only the event phase.
+func BenchmarkLaunchResim(b *testing.B) {
+	sys, pats, v2s := benchLaunchWorkload(b)
+	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	ls := sim.NewLaunchScratch(sys.Sim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.LaunchInto(ls, pats[0].V1, v2s[0], pats[0].PIs, sys.Period, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"scap/internal/core"
+	"scap/internal/logic"
 	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/power"
@@ -103,9 +104,12 @@ func main() {
 		meter := power.NewMeter(sys.D)
 		meter.EnableWaveform(sys.Period / 40)
 		tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+		ls := sim.NewLaunchScratch(sys.Sim)
 		p := &fr.Patterns[hot]
-		v2 := sys.LaunchState(p.V1, p.PIs, 0)
-		if _, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle); err != nil {
+		nf := len(sys.D.Flops)
+		v2, err := sys.LaunchStateInto(ls, make([]logic.V, nf), make([]logic.V, nf), p.V1, p.PIs, 0)
+		die(err)
+		if _, err := tm.LaunchInto(ls, p.V1, v2, p.PIs, sys.Period, meter.OnToggle); err != nil {
 			die(err)
 		}
 		w := meter.WaveformOf()

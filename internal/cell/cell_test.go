@@ -190,3 +190,28 @@ func BenchmarkEvalWordNand2(b *testing.B) {
 		_ = EvalWord(Nand2, in)
 	}
 }
+
+// TestEvalPackedMatchesEval pins the packed LUT to the reference Eval on
+// every kind and every valid input combination.
+func TestEvalPackedMatchesEval(t *testing.T) {
+	in := make([]logic.V, 4)
+	for k := Kind(0); k < numKinds; k++ {
+		n := k.NumInputs()
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= 3
+		}
+		for c := 0; c < total; c++ {
+			idx, rem := uint32(0), c
+			for p := 0; p < n; p++ {
+				v := logic.V(rem % 3)
+				rem /= 3
+				in[p] = v
+				idx |= uint32(v) << (2 * p)
+			}
+			if got, want := EvalPacked(k, idx), Eval(k, in[:n]); got != want {
+				t.Fatalf("%v packed idx %#x: got %v, want %v", k, idx, got, want)
+			}
+		}
+	}
+}

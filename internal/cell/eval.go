@@ -155,3 +155,41 @@ func reduceOrW(in []logic.Word) logic.Word {
 	}
 	return v
 }
+
+// evalTable is the packed-index form of Eval: for each kind, the output
+// for every combination of up to four 2-bit input values (logic.V fits
+// in two bits). Built once from Eval itself at init, so EvalPacked is
+// Eval by construction. Indices containing the unused encoding 3 are
+// never produced by well-formed nets and stay at their zero value.
+var evalTable [numKinds][256]logic.V
+
+func init() {
+	in := make([]logic.V, 4)
+	for k := Kind(0); k < numKinds; k++ {
+		n := k.NumInputs()
+		for c := 0; c < pow3(n); c++ {
+			idx, rem := uint32(0), c
+			for p := 0; p < n; p++ {
+				v := logic.V(rem % 3)
+				rem /= 3
+				in[p] = v
+				idx |= uint32(v) << (2 * p)
+			}
+			evalTable[k][idx] = Eval(k, in[:n])
+		}
+	}
+}
+
+func pow3(n int) int {
+	r := 1
+	for i := 0; i < n; i++ {
+		r *= 3
+	}
+	return r
+}
+
+// EvalPacked evaluates kind k on inputs packed two bits per pin,
+// little-endian: idx = in0 | in1<<2 | in2<<4 | in3<<6. It is the hot-loop
+// form of Eval — one table load instead of a switch — and agrees with
+// Eval on every valid input combination by construction.
+func EvalPacked(k Kind, idx uint32) logic.V { return evalTable[k][idx] }

@@ -9,7 +9,6 @@ import (
 	"scap/internal/parallel"
 	"scap/internal/pgrid"
 	"scap/internal/power"
-	"scap/internal/sim"
 )
 
 // PowerModel selects the averaging window of the dynamic analysis.
@@ -47,16 +46,23 @@ type DynamicIR struct {
 // switching energy (the VCD-less PLI path), converts it to per-instance
 // currents over the model's window, and solves both rail meshes.
 func (sys *System) DynamicIRDrop(p *atpg.Pattern, dom int, model PowerModel) (*DynamicIR, error) {
+	pool := sys.profPool(1)
+	return sys.dynamicIRDrop(&pool[0], p, dom, model)
+}
+
+// dynamicIRDrop is DynamicIRDrop on a caller-supplied worker scratch,
+// so composite analyses (DelayImpact) can keep reusing the scratch —
+// and its cached settled baseline — for follow-up launches of the same
+// pattern.
+func (sys *System) dynamicIRDrop(ps *profScratch, p *atpg.Pattern, dom int, model PowerModel) (*DynamicIR, error) {
 	defer obs.StartSpan("dynamic-irdrop").End()
 	d := sys.D
-	meter := power.NewMeter(d)
-	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
-	v2 := sys.LaunchState(p.V1, p.PIs, dom)
-	res, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, meter.OnToggle)
+	ps.meter.Reset()
+	res, err := ps.launch(sys, p.V1, p.PIs, dom, ps.toggle)
 	if err != nil {
 		return nil, fmt.Errorf("core: dynamic sim: %w", err)
 	}
-	prof := meter.Report(sys.Period)
+	prof := ps.meter.Report(sys.Period)
 	window := sys.Period
 	if model == ModelSCAP {
 		window = res.STW
@@ -144,8 +150,7 @@ func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropS
 		p := &fr.Patterns[i]
 		ps, sc := &pool[w], &scratch[w]
 		ps.meter.Reset()
-		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
-		res, err := ps.tm.Launch(p.V1, v2, p.PIs, sys.Period, ps.meter.OnToggle)
+		res, err := ps.launch(sys, p.V1, p.PIs, fr.Dom, ps.toggle)
 		if err != nil {
 			return fmt.Errorf("core: dynamic sim pattern %d: %w", i, err)
 		}
@@ -234,16 +239,26 @@ func (dyn *DynamicIR) CombinedDrop() *pgrid.Solution {
 // re-simulation with cell and clock delays scaled by the local voltage
 // collapse.
 func (sys *System) DelayImpact(p *atpg.Pattern, dom int) (*delayscale.Impact, *DynamicIR, error) {
-	dyn, err := sys.DynamicIRDrop(p, dom, ModelSCAP)
+	pool := sys.profPool(1)
+	ps := &pool[0]
+	dyn, err := sys.dynamicIRDrop(ps, p, dom, ModelSCAP)
 	if err != nil {
 		return nil, nil, err
 	}
 	resim := obs.StartSpan("resimulation")
 	defer resim.End()
-	v2 := sys.LaunchState(p.V1, p.PIs, dom)
+	// The scratch still holds this pattern's settled baseline (the
+	// launch restored it), so the V2 re-derivation and both Compare
+	// launches are cone-cache hits: the baseline is delay- and
+	// clock-independent, which is exactly why the derated run may share
+	// the scratch.
+	v2, err := sys.LaunchStateInto(ps.ls, ps.v2, ps.capBuf, p.V1, p.PIs, dom)
+	if err != nil {
+		return nil, nil, err
+	}
 	imp, err := delayscale.Compare(sys.Sim, sys.Delays, sys.Tree,
 		sys.GridVDD, dyn.CombinedDrop(), sys.D.Lib.KVolt,
-		p.V1, v2, p.PIs, sys.Period)
+		p.V1, v2, p.PIs, sys.Period, ps.ls)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"scap/internal/atpg"
 	"scap/internal/fault"
+	"scap/internal/logic"
 	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/power"
@@ -155,14 +156,22 @@ type PatternProfile struct {
 }
 
 // profScratch is one worker's simulator state for the per-pattern
-// analysis loops: a meter and timing simulator nothing else touches.
+// analysis loops: a meter, a timing simulator and a reusable launch
+// scratch nothing else touches, plus the V2 derivation buffers.
 type profScratch struct {
 	meter *power.Meter
 	tm    *sim.Timing
+	ls    *sim.LaunchScratch
+	// toggle is meter.OnToggle bound once: creating the method value per
+	// launch would be the last steady-state allocation on the hot path.
+	toggle     sim.ToggleFn
+	v2, capBuf []logic.V
 }
 
 // profPool builds one scratch state per worker. The first is constructed
 // from the design; the rest clone it, sharing only immutable tables.
+// Every worker owns a private LaunchScratch, so steady-state launches
+// allocate nothing.
 func (sys *System) profPool(workers int) []profScratch {
 	pool := make([]profScratch, workers)
 	pool[0] = profScratch{
@@ -172,7 +181,27 @@ func (sys *System) profPool(workers int) []profScratch {
 	for w := 1; w < workers; w++ {
 		pool[w] = profScratch{meter: pool[0].meter.Clone(), tm: pool[0].tm.Clone()}
 	}
+	nf := len(sys.D.Flops)
+	for w := range pool {
+		pool[w].ls = sim.NewLaunchScratch(sys.Sim)
+		pool[w].toggle = pool[w].meter.OnToggle
+		pool[w].v2 = make([]logic.V, nf)
+		pool[w].capBuf = make([]logic.V, nf)
+	}
 	return pool
+}
+
+// launch derives the pattern's V2 state and runs one timing launch, all
+// on the worker's reusable scratch: the settle performed for the V2
+// derivation is cached in the scratch, so the launch itself re-settles
+// nothing. The returned Result lives in the scratch and is valid until
+// the worker's next launch.
+func (ps *profScratch) launch(sys *System, v1, pis []logic.V, dom int, onToggle sim.ToggleFn) (*sim.Result, error) {
+	v2, err := sys.LaunchStateInto(ps.ls, ps.v2, ps.capBuf, v1, pis, dom)
+	if err != nil {
+		return nil, err
+	}
+	return ps.tm.LaunchInto(ps.ls, v1, v2, pis, sys.Period, onToggle)
 }
 
 // ProfilePatterns runs the streaming SCAP calculator (timing simulation +
@@ -193,8 +222,7 @@ func (sys *System) ProfilePatterns(fr *FlowResult) ([]PatternProfile, error) {
 		p := &fr.Patterns[i]
 		s := &pool[w]
 		s.meter.Reset()
-		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
-		res, err := s.tm.Launch(p.V1, v2, p.PIs, sys.Period, s.meter.OnToggle)
+		res, err := s.launch(sys, p.V1, p.PIs, fr.Dom, s.toggle)
 		if err != nil {
 			return fmt.Errorf("core: profile pattern %d: %w", i, err)
 		}

@@ -46,6 +46,12 @@ func (sys *System) FunctionalPowerSim(dom, cycles int, seed int64) (*FunctionalP
 
 	meter := power.NewMeter(d)
 	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	ls := sim.NewLaunchScratch(sys.Sim)
+	toggle := sim.ToggleFn(meter.OnToggle)
+	// state/next ping-pong so the V2 derivation never writes into the
+	// live V1 buffer; capBuf serves LaunchStateInto.
+	next := make([]logic.V, len(d.Flops))
+	capBuf := make([]logic.V, len(d.Flops))
 	fp := &FunctionalPower{Cycles: cycles, MeanPowerMW: make([]float64, d.NumBlocks+1)}
 	toggles := 0
 	for cyc := 0; cyc < cycles; cyc++ {
@@ -55,9 +61,11 @@ func (sys *System) FunctionalPowerSim(dom, cycles int, seed int64) (*FunctionalP
 				pis[d.Nets[sys.SC.SE].PI] = logic.Zero
 			}
 		}
-		next := sys.LaunchState(state, pis, dom)
+		if _, err := sys.LaunchStateInto(ls, next, capBuf, state, pis, dom); err != nil {
+			return nil, fmt.Errorf("core: functional cycle %d: %w", cyc, err)
+		}
 		meter.Reset()
-		res, err := tm.Launch(state, next, pis, sys.Period, meter.OnToggle)
+		res, err := tm.LaunchInto(ls, state, next, pis, sys.Period, toggle)
 		if err != nil {
 			return nil, fmt.Errorf("core: functional cycle %d: %w", cyc, err)
 		}
@@ -66,7 +74,7 @@ func (sys *System) FunctionalPowerSim(dom, cycles int, seed int64) (*FunctionalP
 			fp.MeanPowerMW[b] += prof.Blocks[b].CAPVdd + prof.Blocks[b].CAPVss
 		}
 		toggles += res.Toggles
-		state = next
+		state, next = next, state
 	}
 	for b := range fp.MeanPowerMW {
 		fp.MeanPowerMW[b] /= float64(cycles)

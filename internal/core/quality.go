@@ -8,7 +8,6 @@ import (
 	"scap/internal/fault"
 	"scap/internal/logic"
 	"scap/internal/obs"
-	"scap/internal/sim"
 )
 
 // FaultGrade records through how long a path one fault was detected.
@@ -73,16 +72,17 @@ func (sys *System) GradeDetections(fr *FlowResult, maxFaults int) (*QualityRepor
 	}
 	sort.Ints(pats)
 
-	tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)
+	pool := sys.profPool(1)
+	ps := &pool[0]
 	rep := &QualityReport{PeriodNs: sys.Period, BestSlack: math.Inf(1)}
 
 	v1W := make([]logic.Word, len(d.Flops))
 	piW := make([]logic.Word, len(d.PIs))
 	for _, pi := range pats {
 		p := &fr.Patterns[pi]
-		// Timing: per-endpoint arrivals for this pattern.
-		v2 := sys.LaunchState(p.V1, p.PIs, fr.Dom)
-		res, err := tm.Launch(p.V1, v2, p.PIs, sys.Period, nil)
+		// Timing: per-endpoint arrivals for this pattern (no power
+		// accounting needed — the meter stays idle, the scratch is reused).
+		res, err := ps.launch(sys, p.V1, p.PIs, fr.Dom, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: grading pattern %d: %w", pi, err)
 		}

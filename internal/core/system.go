@@ -234,6 +234,29 @@ func (sys *System) LaunchState(v1, pis []logic.V, dom int) []logic.V {
 	return v2
 }
 
+// LaunchStateInto is the buffer-reusing form of LaunchState: the frame-1
+// settle runs inside ls (selective-trace from the scratch's cached
+// baseline) and the V2 state is written into v2, with capBuf as the
+// capture buffer (both len(d.Flops)). The settle stays cached in ls, so
+// a following LaunchInto on the same scratch with the same (v1, pis)
+// skips its own settle entirely — each pattern is settled exactly once.
+func (sys *System) LaunchStateInto(ls *sim.LaunchScratch, v2, capBuf []logic.V, v1, pis []logic.V, dom int) ([]logic.V, error) {
+	nets, err := ls.SettleBaseline(v1, pis)
+	if err != nil {
+		return nil, err
+	}
+	cap1 := sys.Sim.CaptureStateInto(capBuf, nets)
+	d := sys.D
+	for i, f := range d.Flops {
+		if d.Inst(f).Domain == dom {
+			v2[i] = cap1[i]
+		} else {
+			v2[i] = v1[i]
+		}
+	}
+	return v2, nil
+}
+
 // NewFaultList returns a fresh collapsed fault universe for the design.
 func (sys *System) NewFaultList() *fault.List { return fault.Universe(sys.D) }
 

@@ -86,36 +86,48 @@ type Impact struct {
 // Compare re-simulates one pattern without and with IR-drop-scaled delays
 // and reports per-endpoint path delays relative to each endpoint's own
 // (nominal vs derated) clock arrival. v1/v2/pis describe the launch as in
-// sim.Timing.Launch.
+// sim.Timing.Launch. ls (optional, nil allowed) is a reusable launch
+// scratch shared by both runs: the settled baseline is delay- and
+// clock-independent, so the derated run is a cone-cache hit, and a
+// caller whose scratch already holds this pattern's baseline pays no
+// settle at all.
 func Compare(s *sim.Simulator, delays *sdf.Delays, tree *clocktree.Tree,
 	g *pgrid.Grid, sol *pgrid.Solution, kvolt float64,
-	v1, v2, pis []logic.V, period float64) (*Impact, error) {
+	v1, v2, pis []logic.V, period float64, ls *sim.LaunchScratch) (*Impact, error) {
 
 	d := s.Design()
 	nom := sim.NewTiming(s, delays, tree)
-	nomRes, err := nom.Launch(v1, v2, pis, period, nil)
+	nomRes, err := nom.LaunchInto(ls, v1, v2, pis, period, nil)
 	if err != nil {
 		return nil, fmt.Errorf("delayscale: nominal run: %w", err)
 	}
 
-	scaledDelays := ScaleDelays(d, delays, g, sol, kvolt)
-	scaledClock := NewScaledClock(d, tree, g, sol, kvolt)
-	scl := sim.NewTiming(s, scaledDelays, scaledClock)
-	sclRes, err := scl.Launch(v1, v2, pis, period, nil)
-	if err != nil {
-		return nil, fmt.Errorf("delayscale: scaled run: %w", err)
-	}
-
+	// Harvest the nominal endpoints before the scaled run: a shared
+	// scratch reuses its Result, so the second launch overwrites nomRes.
 	imp := &Impact{Endpoints: make([]Endpoint, len(d.Flops))}
 	for i, f := range d.Flops {
 		ep := &imp.Endpoints[i]
 		ep.Flop = f
 		ep.Block = d.Inst(f).Block
 		ep.Active = nomRes.EndpointActive[i]
+		if ep.Active {
+			ep.Nominal = nomRes.EndpointArrival[i] - tree.Arrival(f)
+		}
+	}
+
+	scaledDelays := ScaleDelays(d, delays, g, sol, kvolt)
+	scaledClock := NewScaledClock(d, tree, g, sol, kvolt)
+	scl := sim.NewTiming(s, scaledDelays, scaledClock)
+	sclRes, err := scl.LaunchInto(ls, v1, v2, pis, period, nil)
+	if err != nil {
+		return nil, fmt.Errorf("delayscale: scaled run: %w", err)
+	}
+
+	for i, f := range d.Flops {
+		ep := &imp.Endpoints[i]
 		if !ep.Active {
 			continue // the paper plots non-active endpoints at zero delay
 		}
-		ep.Nominal = nomRes.EndpointArrival[i] - tree.Arrival(f)
 		if !sclRes.EndpointActive[i] {
 			ep.Scaled = ep.Nominal // transition vanished: report no shift
 			imp.Vanished++

@@ -112,7 +112,7 @@ func TestCompareZeroDropIsNeutral(t *testing.T) {
 	n := w.g.P.N
 	sol := &pgrid.Solution{N: n, Drop: make([]float64, n*n)}
 	v1, v2, pis := launchVectors(w)
-	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20)
+	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,9 @@ func TestCompareHotB5SlowsItsEndpoints(t *testing.T) {
 	w := build(t)
 	sol := hotSolution(w, 0.25)
 	v1, v2, pis := launchVectors(w)
-	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20)
+	// Exercise the shared-scratch path: both runs reuse one scratch.
+	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20,
+		sim.NewLaunchScratch(w.s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,11 @@ func TestCompareCorners(t *testing.T) {
 	v1, v2, pis := launchVectors(w)
 	// Pick a tight period so violations exist: just above the nominal max
 	// endpoint delay.
-	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20)
+	// One scratch serves all five launches of this test (two Compare,
+	// three CompareCorners runs) — every settle after the first is a
+	// cone-cache hit on the identical pattern.
+	ls := sim.NewLaunchScratch(w.s)
+	imp, err := Compare(w.s, w.dl, w.tree, w.g, sol, w.kvolt, v1, v2, pis, 20, ls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +211,7 @@ func TestCompareCorners(t *testing.T) {
 	}
 	period := maxNom * 1.05
 	cc, err := CompareCorners(w.s, w.dl, w.tree, w.g, sol, w.kvolt, 1.30,
-		v1, v2, pis, period)
+		v1, v2, pis, period, ls)
 	if err != nil {
 		t.Fatal(err)
 	}

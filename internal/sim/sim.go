@@ -24,6 +24,19 @@ type Simulator struct {
 	order []netlist.InstID // combinational instances only, topo order
 	// flopIndex maps an InstID to its position in d.Flops.
 	flopIndex map[netlist.InstID]int
+	// level[inst] is the gate's logic level — 1 + the max level of its
+	// combinational driver instances, 0 when every input comes from a
+	// flop, a PI, or an undriven net; -1 for flops. Levels are strictly
+	// increasing along combinational edges, so the selective-trace
+	// settle of LaunchScratch can drain dirty gates through per-level
+	// buckets (O(1) push and pop, each gate evaluated at most once)
+	// instead of a priority queue.
+	level     []int32
+	numLevels int
+	// flopSlot[inst] is the instance's position in d.Flops, -1 for
+	// combinational gates: the event loop's branch-free replacement for
+	// an IsFlop check plus a map lookup.
+	flopSlot []int32
 }
 
 // New builds a Simulator for d. It fails if the design has a combinational
@@ -33,14 +46,42 @@ func New(d *netlist.Design) (*Simulator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	s := &Simulator{d: d, flopIndex: make(map[netlist.InstID]int, len(d.Flops))}
+	s := &Simulator{
+		d:         d,
+		flopIndex: make(map[netlist.InstID]int, len(d.Flops)),
+	}
 	for _, id := range full {
 		if !d.Inst(id).IsFlop() {
 			s.order = append(s.order, id)
 		}
 	}
+	s.level = make([]int32, d.NumInsts())
+	for i := range s.level {
+		s.level[i] = -1
+	}
+	for _, id := range s.order {
+		lv := int32(0)
+		for _, n := range d.Inst(id).In {
+			drv := d.Nets[n].Driver
+			if drv == netlist.NoInst || d.Inst(drv).IsFlop() {
+				continue
+			}
+			if l := s.level[drv] + 1; l > lv {
+				lv = l
+			}
+		}
+		s.level[id] = lv
+		if int(lv) >= s.numLevels {
+			s.numLevels = int(lv) + 1
+		}
+	}
+	s.flopSlot = make([]int32, d.NumInsts())
+	for i := range s.flopSlot {
+		s.flopSlot[i] = -1
+	}
 	for i, f := range d.Flops {
 		s.flopIndex[f] = i
+		s.flopSlot[f] = int32(i)
 	}
 	return s, nil
 }
@@ -80,8 +121,14 @@ func (s *Simulator) Propagate(nets []logic.V) {
 // net values (indexed like d.Flops). Scan flops honor their SE pin: SE=0
 // captures D, SE=1 captures SI.
 func (s *Simulator) CaptureState(nets []logic.V) []logic.V {
+	return s.CaptureStateInto(make([]logic.V, len(s.d.Flops)), nets)
+}
+
+// CaptureStateInto is the buffer-reusing form of CaptureState: it writes
+// the captured per-flop values into out (which must be len(d.Flops)) and
+// returns it.
+func (s *Simulator) CaptureStateInto(out []logic.V, nets []logic.V) []logic.V {
 	d := s.d
-	out := make([]logic.V, len(d.Flops))
 	var buf [4]logic.V
 	for i, f := range d.Flops {
 		inst := &d.Insts[f]

@@ -62,9 +62,10 @@ func NewTiming(s *Simulator, delays *sdf.Delays, tree Clock) *Timing {
 // Clone returns an independent Timing with the same configuration. The
 // underlying simulator, delay table and clock tree are immutable after
 // construction and stay shared; Timing itself holds no scratch state
-// between Launch calls (each Launch owns its event queue and net
-// vectors), so a clone is just a config copy. This is the per-worker
-// constructor path of the parallel profiling pipeline.
+// between Launch calls (launch buffers live in the caller-owned
+// LaunchScratch), so a clone is just a config copy. This is the
+// per-worker constructor path of the parallel profiling pipeline —
+// pair each clone with its own NewLaunchScratch.
 func (tm *Timing) Clone() *Timing {
 	c := *tm
 	return &c
@@ -74,7 +75,7 @@ func (tm *Timing) Clone() *Timing {
 type Result struct {
 	Toggles    int     // total output transitions observed
 	Suppressed int     // transitions dropped by the per-net event cap
-	FirstEvent float64 // time of the first transition (ns), 0 if none
+	FirstEvent float64 // time of the first transition (ns), -1 if none
 	LastEvent  float64 // time of the last transition (ns), 0 if none
 
 	// STW is the switching time frame window: the span during which all
@@ -101,11 +102,15 @@ type event struct {
 	val logic.V
 }
 
-// eventQueue is a value-typed binary min-heap ordered by (t, seq). A
+// eventQueue is a value-typed 4-ary min-heap ordered by (t, seq). A
 // hand-rolled heap instead of container/heap: the interface{} Push/Pop
 // of the standard library boxes every event onto the garbage-collected
 // heap, one allocation per scheduled transition, which dominated the
-// allocation profile of the timing hot loop. Values sift in place here.
+// allocation profile of the timing hot loop. Arity 4 halves the tree
+// depth of the binary heap, trading (cheap, cache-resident) sibling
+// comparisons for (expensive) level-to-level moves. (t, seq) is a total
+// order — seq is unique — so pop order, and with it every simulation
+// result, is independent of the heap's internal layout.
 type eventQueue []event
 
 func (q eventQueue) less(i, j int) bool {
@@ -117,16 +122,16 @@ func (q eventQueue) less(i, j int) bool {
 
 // push appends e and sifts it up to its heap position.
 func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	h := *q
+	h := append(*q, e)
 	for i := len(h) - 1; i > 0; {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !h.less(i, parent) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
+	*q = h
 }
 
 // pop removes and returns the earliest event. The caller must check
@@ -139,13 +144,19 @@ func (q *eventQueue) pop() event {
 	h = h[:n]
 	*q = h
 	for i := 0; ; {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		min := left
-		if right := left + 1; right < n && h.less(right, left) {
-			min = right
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
 		}
 		if !h.less(min, i) {
 			break
@@ -169,78 +180,62 @@ func (q *eventQueue) pop() event {
 //
 // onToggle (optional) observes every output transition. The returned
 // Result carries switching statistics, the STW and per-endpoint arrivals.
+//
+// Launch allocates a fresh scratch per call; hot loops should hold a
+// per-worker LaunchScratch and call LaunchInto instead.
 func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onToggle ToggleFn) (*Result, error) {
+	return tm.LaunchInto(nil, v1, v2, pis, period, onToggle)
+}
+
+// LaunchInto is the buffer-reusing form of Launch. A nil ls allocates a
+// one-shot scratch (exactly Launch); otherwise ls must have been built
+// for tm's simulator, and steady-state calls allocate nothing: the
+// pre-launch settle touches only the fanout cone of flops/PIs that
+// changed since the previous call (or nothing at all when the pattern
+// repeats), and an undo log restores the baseline afterwards.
+//
+// The returned Result and its slices (Nets, EndpointArrival,
+// EndpointActive) live inside ls and are only valid until the next
+// LaunchInto on the same scratch — copy what must survive.
+func (tm *Timing) LaunchInto(ls *LaunchScratch, v1, v2 []logic.V, pis []logic.V, period float64, onToggle ToggleFn) (*Result, error) {
 	s := tm.sim
 	d := s.d
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: period %v ns: must be positive", period)
+	}
+	if tm.MaxEventsPerNet < 1 {
+		return nil, fmt.Errorf("sim: MaxEventsPerNet %d: must be >= 1", tm.MaxEventsPerNet)
+	}
 	if len(v1) != len(d.Flops) || len(v2) != len(d.Flops) {
 		return nil, fmt.Errorf("sim: state length %d/%d, want %d", len(v1), len(v2), len(d.Flops))
 	}
 	if len(pis) != len(d.PIs) {
 		return nil, fmt.Errorf("sim: pi length %d, want %d", len(pis), len(d.PIs))
 	}
-
-	nets := s.NewNets()
-	s.SetPIs(nets, pis)
-	s.ApplyState(nets, v1)
-	s.Propagate(nets)
-
-	// projected[n] is the value net n will hold once all scheduled events
-	// fire; it gates event creation so a gate output is only scheduled when
-	// its eventual value actually changes.
-	projected := make([]logic.V, len(nets))
-	copy(projected, nets)
-	eventsOn := make([]int, len(nets))
-	// lastSched enforces per-net application order: with unequal rise/fall
-	// delays a later-scheduled edge could otherwise overtake a pending one
-	// and leave the net at a stale value. Clamping to the previous
-	// scheduled time models the narrow pulse being swallowed.
-	lastSched := make([]float64, len(nets))
-	// Inertial-filter state: the seq of the still-pending last event per
-	// net (-1 when none) and the projected value before it.
-	lastSeq := make([]int, len(nets))
-	prevProj := make([]logic.V, len(nets))
-	for i := range lastSeq {
-		lastSeq[i] = -1
+	if ls == nil {
+		ls = NewLaunchScratch(s)
+	} else if ls.s != s {
+		return nil, fmt.Errorf("sim: scratch bound to a different simulator")
 	}
-	voided := map[int]bool{}
-
-	res := &Result{
-		EndpointArrival: make([]float64, len(d.Flops)),
-		EndpointActive:  make([]bool, len(d.Flops)),
+	if ls.launches > 0 {
+		cScratchReuse.Add(1)
 	}
 
-	var q eventQueue
-	seq := 0
-	// push schedules net n to take value v at time t; width is the
-	// driving stage's inertial window. The caller must have verified v
-	// differs from projected[n]; push updates projected[n].
-	push := func(t float64, n netlist.NetID, v logic.V, width float64) {
-		if eventsOn[n] >= tm.MaxEventsPerNet {
-			res.Suppressed++
-			return
-		}
-		if t < lastSched[n] {
-			t = lastSched[n]
-		}
-		if width < tm.MinPulseNs {
-			width = tm.MinPulseNs
-		}
-		// Inertial filter: returning to the pre-pulse value within the
-		// stage's switching window swallows the pulse.
-		if tm.MinPulseNs >= 0 && lastSeq[n] >= 0 && v == prevProj[n] &&
-			t-lastSched[n] < width {
-			voided[lastSeq[n]] = true
-			lastSeq[n] = -1
-			projected[n] = v
-			return
-		}
-		prevProj[n] = projected[n]
-		projected[n] = v
-		lastSched[n] = t
-		lastSeq[n] = seq
-		eventsOn[n]++
-		q.push(event{t: t, seq: seq, net: n, val: v})
-		seq++
+	ls.settle(v1, pis)
+	nets := ls.nets
+
+	// Fresh event phase: the settled baseline guarantees projected ==
+	// nets, eventsOn == 0, lastSched == 0, lastSeq == -1 everywhere (the
+	// undo log restored them), and one gen bump empties the void and
+	// undo sets.
+	ls.gen++
+	ls.seq = 0
+	res := &ls.res
+	res.Toggles, res.Suppressed = 0, 0
+	res.FirstEvent, res.LastEvent, res.STW = -1, 0, 0
+	for i := range res.EndpointArrival {
+		res.EndpointArrival[i] = 0
+		res.EndpointActive[i] = false
 	}
 
 	// Launch edge: flops whose state changes emit a Q transition at their
@@ -253,27 +248,25 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 		if tm.tree != nil {
 			t = tm.tree.Arrival(f)
 		}
-		push(t, d.Insts[f].Out, v2[i], 0)
+		ls.pushEvent(tm, t, d.Insts[f].Out, v2[i], 0)
 	}
 
 	horizon := 4 * period // safety: glitch tails beyond this are abandoned
-	var buf [4]logic.V
-	dispatched, queueHWM := 0, len(q)
-	for len(q) > 0 {
-		if len(q) > queueHWM {
-			queueHWM = len(q)
+	dispatched, queueHWM := 0, len(ls.q)
+	for len(ls.q) > 0 {
+		if len(ls.q) > queueHWM {
+			queueHWM = len(ls.q)
 		}
-		ev := q.pop()
+		ev := ls.q.pop()
 		dispatched++
-		if voided[ev.seq] {
-			delete(voided, ev.seq)
+		if ls.voidStamp[ev.seq] == ls.gen {
 			continue
 		}
-		if lastSeq[ev.net] == ev.seq {
-			lastSeq[ev.net] = -1 // no longer cancellable
+		if ls.lastSeq[ev.net] == ev.seq {
+			ls.lastSeq[ev.net] = -1 // no longer cancellable
 		}
 		if ev.t > horizon {
-			res.Suppressed += len(q) + 1
+			res.Suppressed += len(ls.q) + 1
 			break
 		}
 		old := nets[ev.net]
@@ -286,7 +279,7 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 		drv := d.Nets[ev.net].Driver
 		if old != logic.X && ev.val != logic.X {
 			res.Toggles++
-			if res.FirstEvent == 0 || ev.t < res.FirstEvent {
+			if res.FirstEvent < 0 || ev.t < res.FirstEvent {
 				res.FirstEvent = ev.t
 			}
 			if ev.t > res.LastEvent {
@@ -298,21 +291,20 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 		}
 
 		for _, ld := range d.Nets[ev.net].Loads {
-			inst := &d.Insts[ld.Inst]
-			if inst.IsFlop() {
+			if fs := s.flopSlot[ld.Inst]; fs >= 0 {
 				if ld.Pin == 0 { // D input: endpoint observation
-					fi := s.flopIndex[ld.Inst]
-					res.EndpointArrival[fi] = ev.t
-					res.EndpointActive[fi] = true
+					res.EndpointArrival[fs] = ev.t
+					res.EndpointActive[fs] = true
 				}
 				continue
 			}
-			in := buf[:len(inst.In)]
+			inst := &d.Insts[ld.Inst]
+			idx := uint32(0)
 			for p, n := range inst.In {
-				in[p] = nets[n]
+				idx |= uint32(nets[n]) << (2 * uint(p))
 			}
-			newOut := cell.Eval(inst.Kind, in)
-			if newOut == projected[inst.Out] {
+			newOut := cell.EvalPacked(inst.Kind, idx)
+			if newOut == ls.projected[inst.Out] {
 				continue
 			}
 			rise, fall := tm.delays.Of(inst.ID)
@@ -320,15 +312,19 @@ func (tm *Timing) Launch(v1, v2 []logic.V, pis []logic.V, period float64, onTogg
 			if newOut == logic.One {
 				dly = rise
 			}
-			push(ev.t+dly, inst.Out, newOut, dly)
+			ls.pushEvent(tm, ev.t+dly, inst.Out, newOut, dly)
 		}
 	}
 
 	res.STW = res.LastEvent
-	res.Nets = nets
+	copy(ls.resNets, nets)
+	res.Nets = ls.resNets
+	ls.restore()
+	ls.launches++
 	cLaunches.Add(1)
 	cDispatched.Add(int64(dispatched))
 	cSuppressed.Add(int64(res.Suppressed))
 	gQueueHWM.Max(int64(queueHWM))
+	hConeEvents.Observe(float64(dispatched))
 	return res, nil
 }
