@@ -23,6 +23,7 @@ bench:
 bench-json:
 	go test -run '^$$' -bench 'Solve|Factor|Pgrid|IRDrop|ProfilePatterns' -benchmem . | go run ./cmd/benchjson -o BENCH_pgrid.json
 	go test -run '^$$' -bench 'Launch|TimingSimulation' -benchmem . | go run ./cmd/benchjson -o BENCH_sim.json
+	go test -run '^$$' -bench '^BenchmarkDrop$$|DetectionCounts|GradeFaultSim|GradeDetections|ScreenPatterns|ProfilePatternsSerial' -benchmem . | go run ./cmd/benchjson -o BENCH_faultsim.json
 
 # CI-style tier-1 verify in one command.
 check:

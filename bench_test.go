@@ -1,11 +1,14 @@
 package scap
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
 	"scap/internal/atpg"
 	"scap/internal/core"
+	"scap/internal/fault"
+	"scap/internal/faultsim"
 	"scap/internal/logic"
 	"scap/internal/pgrid"
 	"scap/internal/power"
@@ -393,6 +396,7 @@ func benchProfilePatterns(b *testing.B, workers int) {
 		}
 		b.ReportMetric(float64(len(prof)), "patterns")
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(conv.Patterns)), "ns/pattern")
 }
 
 func BenchmarkProfilePatternsSerial(b *testing.B)   { benchProfilePatterns(b, 1) }
@@ -556,4 +560,207 @@ func BenchmarkPgridWarmStart(b *testing.B) {
 			b.ReportMetric(float64(sol.Iterations), "sweeps")
 		}
 	})
+}
+
+// --- packed fault-sim benches --------------------------------------------
+
+// benchDropInputs prepares the fault-dropping workload: the full clka
+// fault universe against one 64-pattern random batch on the shared
+// benchScale system.
+func benchDropInputs(b *testing.B) (*core.System, *fault.List, []int, *faultsim.Batch) {
+	b.Helper()
+	r := benchRunner(b)
+	sys := r.Sys
+	l := sys.NewFaultList()
+	subset := l.InDomain(0)
+	rnd := rand.New(rand.NewSource(9))
+	v1 := make([]logic.Word, len(sys.D.Flops))
+	pis := make([]logic.Word, len(sys.D.PIs))
+	for i := range v1 {
+		ones := rnd.Uint64()
+		v1[i] = logic.Word{Zero: ^ones, One: ones}
+	}
+	for i := range pis {
+		ones := rnd.Uint64()
+		pis[i] = logic.Word{Zero: ^ones, One: ones}
+	}
+	return sys, l, subset, sys.FSim.GoodSim(v1, pis, 0, ^uint64(0))
+}
+
+// BenchmarkDrop measures one worker-sharded fault-dropping sweep (the
+// inner loop of every ATPG flush) serial vs all cores. Committed BENCH
+// numbers come from a 1-CPU VM, so the parallel variant only separates on
+// multi-core hardware (see ROADMAP's bench caveat).
+func BenchmarkDrop(b *testing.B) {
+	sys, l, subset, bb := benchDropInputs(b)
+	pristine := append([]fault.Status(nil), l.Status...)
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			old := sys.FSim.Workers
+			sys.FSim.Workers = v.workers
+			defer func() { sys.FSim.Workers = old }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			dropped := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(l.Status, pristine)
+				b.StartTimer()
+				dropped = sys.FSim.Drop(l, subset, bb, 0)
+			}
+			b.ReportMetric(float64(len(subset)), "faults")
+			b.ReportMetric(float64(dropped), "dropped")
+		})
+	}
+}
+
+// BenchmarkDetectionCounts measures the n-detect accounting sweep (no
+// status mutation, so no per-iteration reset).
+func BenchmarkDetectionCounts(b *testing.B) {
+	sys, l, subset, bb := benchDropInputs(b)
+	counts := make([]int, len(l.Faults))
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			old := sys.FSim.Workers
+			sys.FSim.Workers = v.workers
+			defer func() { sys.FSim.Workers = old }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.FSim.DetectionCounts(l, subset, bb, counts)
+			}
+		})
+	}
+}
+
+// BenchmarkGradeFaultSim is the committed evidence for the 64-slot
+// batching win: fault-grade the same 64 patterns against the domain's
+// fault universe one pattern per sweep (a single-slot GoodSim plus a
+// detection sweep each, the shape the old grading path ran) vs all 64
+// packed into one good-machine batch and one sweep. Runs single-core
+// (workers=1); ns/pattern is the comparable metric.
+func BenchmarkGradeFaultSim(b *testing.B) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	fs := sys.FSim
+	l := conv.Faults
+	d := sys.D
+	subset := conv.Subset
+	n := len(conv.Patterns)
+	if n > 64 {
+		n = 64
+	}
+	oldW := fs.Workers
+	fs.Workers = 1
+	defer func() { fs.Workers = oldW }()
+	counts := make([]int, len(l.Faults))
+
+	b.Run("batch1", func(b *testing.B) {
+		v1W := make([]logic.Word, len(d.Flops))
+		piW := make([]logic.Word, len(d.PIs))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < n; p++ {
+				pat := &conv.Patterns[p]
+				for j := range v1W {
+					v1W[j] = logic.Splat(pat.V1[j])
+				}
+				for j := range piW {
+					piW[j] = logic.Splat(pat.PIs[j])
+				}
+				bb := fs.GoodSim(v1W, piW, conv.Dom, 1)
+				fs.DetectionCounts(l, subset, bb, counts)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/pattern")
+	})
+	b.Run("batch64", func(b *testing.B) {
+		slotV1 := make([][]logic.V, n)
+		slotPI := make([][]logic.V, n)
+		for p := 0; p < n; p++ {
+			slotV1[p] = conv.Patterns[p].V1
+			slotPI[p] = conv.Patterns[p].PIs
+		}
+		var v1W, piW []logic.Word
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v1W = logic.PackSlots(v1W, slotV1)
+			piW = logic.PackSlots(piW, slotPI)
+			bb := fs.GoodSim(v1W, piW, conv.Dom, logic.ValidMask(n))
+			fs.DetectionCounts(l, subset, bb, counts)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/pattern")
+	})
+}
+
+// BenchmarkGradeDetections measures the full batched grading engine
+// (timing launches included) over the conventional flow.
+func BenchmarkGradeDetections(b *testing.B) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			old := sys.Workers
+			sys.Workers = v.workers
+			defer func() { sys.Workers = old }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := sys.GradeDetections(conv, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(rep.Grades)), "grades")
+			}
+		})
+	}
+}
+
+// BenchmarkScreenPatterns prices the packed zero-delay pre-screen; its
+// ns/pattern against BenchmarkProfilePatternsSerial's per-pattern cost is
+// the screen-then-verify headline (the screen must be >= 10x cheaper).
+func BenchmarkScreenPatterns(b *testing.B) {
+	r := benchRunner(b)
+	conv, _, err := r.Conventional()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Sys
+	old := sys.Workers
+	sys.Workers = 1
+	defer func() { sys.Workers = old }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		screens, err := sys.ScreenPatterns(conv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(screens)), "patterns")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(conv.Patterns)), "ns/pattern")
 }

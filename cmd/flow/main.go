@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	flow [-scale N] [-out dir] [-workers W] [-solver factored|sor] [-cpuprofile F] [-memprofile F]
-//	     [-report F.json] [-metrics-addr :6060]
+//	flow [-scale N] [-out dir] [-workers W] [-solver factored|sor] [-screen F]
+//	     [-cpuprofile F] [-memprofile F] [-report F.json] [-metrics-addr :6060]
+//
+// With -screen F (0 < F <= 1) the packed zero-delay pre-screen ranks each
+// pattern set by estimated B5 switching and the exact event-driven
+// profiler runs only on the top fraction F.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	out := flag.String("out", "flow_out", "artifact directory")
 	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
 	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
+	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at flow end to this file")
 	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
@@ -41,6 +46,10 @@ func main() {
 	flag.Parse()
 
 	die(parallel.ValidateWorkers(*workers))
+	if *screen < 0 || *screen > 1 {
+		fmt.Fprintln(os.Stderr, "flow: -screen must be in [0, 1]")
+		os.Exit(2)
+	}
 	solver, err := core.ParseSolver(*solverName)
 	die(err)
 	die(obs.SetupCLI(*report, *metricsAddr))
@@ -93,10 +102,23 @@ func main() {
 		return pattern.Write(f, sys.D, nw.Patterns)
 	})
 
-	convProf, err := sys.ProfilePatterns(conv)
-	die(err)
-	newProf, err := sys.ProfilePatterns(nw)
-	die(err)
+	profile := func(fr *core.FlowResult) []core.PatternProfile {
+		if *screen <= 0 {
+			p, err := sys.ProfilePatterns(fr)
+			die(err)
+			return p
+		}
+		screens, err := sys.ScreenPatterns(fr)
+		die(err)
+		sel := core.ScreenTop(screens, soc.B5, *screen)
+		fmt.Printf("  %s: pre-screen kept %d of %d patterns for exact profiling\n",
+			fr.Name, len(sel), len(screens))
+		p, err := sys.ProfilePatternsAt(fr, sel)
+		die(err)
+		return p
+	}
+	convProf := profile(conv)
+	newProf := profile(nw)
 	grade, err := sys.GradeDetections(conv, 2000)
 	die(err)
 

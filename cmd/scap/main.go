@@ -6,7 +6,11 @@
 // Usage:
 //
 //	scap [-scale N] [-flow conventional|new] [-block B5] [-top K] [-plot] [-workers W]
-//	     [-report F.json] [-metrics-addr :6060]
+//	     [-screen F] [-report F.json] [-metrics-addr :6060]
+//
+// With -screen F (0 < F <= 1) the packed zero-delay pre-screen ranks all
+// patterns by estimated switching in the profiled block first, and the
+// exact event-driven profiler runs only on the top fraction F.
 package main
 
 import (
@@ -34,11 +38,16 @@ func main() {
 	plot := flag.Bool("plot", false, "render the SCAP scatter plot")
 	waveform := flag.Bool("waveform", false, "render the hottest pattern's instantaneous power waveform")
 	workers := flag.Int("workers", 0, "pattern-profiling workers (0 = all cores, 1 = serial)")
+	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
 	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	die(parallel.ValidateWorkers(*workers))
+	if *screen < 0 || *screen > 1 {
+		fmt.Fprintln(os.Stderr, "scap: -screen must be in [0, 1]")
+		os.Exit(2)
+	}
 	die(obs.SetupCLI(*report, *metricsAddr))
 
 	block := -1
@@ -66,8 +75,19 @@ func main() {
 		fr, err = sys.ConventionalFlow(0)
 	}
 	die(err)
-	prof, err := sys.ProfilePatterns(fr)
-	die(err)
+	var prof []core.PatternProfile
+	if *screen > 0 {
+		screens, err := sys.ScreenPatterns(fr)
+		die(err)
+		sel := core.ScreenTop(screens, block, *screen)
+		fmt.Printf("packed pre-screen: %d patterns triaged, top %.0f%% (%d) kept for exact profiling\n",
+			len(screens), 100**screen, len(sel))
+		prof, err = sys.ProfilePatternsAt(fr, sel)
+		die(err)
+	} else {
+		prof, err = sys.ProfilePatterns(fr)
+		die(err)
+	}
 
 	thr := stat.ThresholdMW[block]
 	above := core.AboveThreshold(prof, block, thr)
@@ -100,7 +120,7 @@ func main() {
 			fmt.Sprintf("%s SCAP (VDD), %s flow", *blockName, fr.Name), "mW"))
 	}
 	if *waveform {
-		hot := idx[0]
+		hot := prof[idx[0]].Index
 		meter := power.NewMeter(sys.D)
 		meter.EnableWaveform(sys.Period / 40)
 		tm := sim.NewTiming(sys.Sim, sys.Delays, sys.Tree)

@@ -159,24 +159,14 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 
 	var slotV1 [][]logic.V
 	var slotPI [][]logic.V
+	var v1W, piW []logic.Word // packed-batch buffers, reused across flushes
 	flush := func() {
 		if len(slotV1) == 0 {
 			return
 		}
-		v1W := make([]logic.Word, len(d.Flops))
-		piW := make([]logic.Word, len(d.PIs))
-		for s := range slotV1 {
-			for i, v := range slotV1[s] {
-				v1W[i] = v1W[i].Set(uint(s), v)
-			}
-			for i, v := range slotPI[s] {
-				piW[i] = piW[i].Set(uint(s), v)
-			}
-		}
-		valid := ^uint64(0)
-		if len(slotV1) < 64 {
-			valid = (uint64(1) << uint(len(slotV1))) - 1
-		}
+		v1W = logic.PackSlots(v1W, slotV1)
+		piW = logic.PackSlots(piW, slotPI)
+		valid := logic.ValidMask(len(slotV1))
 		base := opts.PatternBase + len(res.Patterns) - len(slotV1)
 		var b *faultsim.Batch
 		if opts.Mode == LOS {

@@ -448,3 +448,66 @@ func TestDetectionCounts(t *testing.T) {
 		t.Fatal("detection counts degenerate")
 	}
 }
+
+// TestRunAndCompactParallelBitIdentical: an entire ATPG run (whose batch
+// flushes drop faults through the worker-sharded sweep) and the
+// reverse-order compaction must both be bit-identical for any worker
+// count (run under -race via the Makefile's test-race gate).
+func TestRunAndCompactParallelBitIdentical(t *testing.T) {
+	r1 := newRig(t, 96)
+	res1, err := Run(r1.fs, r1.l, r1.sc, Options{Dom: 0, Fill: FillRandom, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := fault.Universe(r1.d)
+	kept1, err := CompactReverse(r1.fs, l1, res1.Patterns, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		r2 := newRig(t, 96)
+		r2.fs.Workers = workers
+		res2, err := Run(r2.fs, r2.l, r2.sc, Options{Dom: 0, Fill: FillRandom, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res2.Patterns) != len(res1.Patterns) {
+			t.Fatalf("workers=%d: %d patterns vs serial %d", workers, len(res2.Patterns), len(res1.Patterns))
+		}
+		for i := range res1.Patterns {
+			p1, p2 := &res1.Patterns[i], &res2.Patterns[i]
+			if p1.Target != p2.Target {
+				t.Fatalf("workers=%d: pattern %d target %d vs %d", workers, i, p2.Target, p1.Target)
+			}
+			for j := range p1.V1 {
+				if p1.V1[j] != p2.V1[j] {
+					t.Fatalf("workers=%d: pattern %d V1 differs", workers, i)
+				}
+			}
+		}
+		for fi := range r1.l.Status {
+			if r1.l.Status[fi] != r2.l.Status[fi] || r1.l.DetectedBy[fi] != r2.l.DetectedBy[fi] {
+				t.Fatalf("workers=%d: fault %d: %v by %d vs serial %v by %d", workers, fi,
+					r2.l.Status[fi], r2.l.DetectedBy[fi], r1.l.Status[fi], r1.l.DetectedBy[fi])
+			}
+		}
+		l2 := fault.Universe(r2.d)
+		kept2, err := CompactReverse(r2.fs, l2, res2.Patterns, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kept2) != len(kept1) {
+			t.Fatalf("workers=%d: compacted to %d vs serial %d", workers, len(kept2), len(kept1))
+		}
+		for i := range kept1 {
+			if kept1[i].Target != kept2[i].Target {
+				t.Fatalf("workers=%d: kept pattern %d differs", workers, i)
+			}
+		}
+		for fi := range l1.Status {
+			if l1.Status[fi] != l2.Status[fi] || l1.DetectedBy[fi] != l2.DetectedBy[fi] {
+				t.Fatalf("workers=%d: compaction fault %d status differs", workers, fi)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"fmt"
+	"math/bits"
 
 	"scap/internal/fault"
 	"scap/internal/faultsim"
@@ -20,7 +21,6 @@ import (
 // The fault list l must be fresh (all faults undetected); its statuses are
 // updated to reflect the compacted set.
 func CompactReverse(fs *faultsim.Sim, l *fault.List, pats []Pattern, dom int) ([]Pattern, error) {
-	d := l.D
 	for _, st := range l.Status {
 		if st == fault.Detected {
 			return nil, fmt.Errorf("atpg: CompactReverse needs a fresh fault list")
@@ -29,41 +29,36 @@ func CompactReverse(fs *faultsim.Sim, l *fault.List, pats []Pattern, dom int) ([
 	subset := l.InDomain(dom)
 	keep := make([]bool, len(pats))
 
+	var v1, pis []logic.Word
+	slotV1 := make([][]logic.V, 0, 64)
+	slotPI := make([][]logic.V, 0, 64)
+	dets := make([]uint64, len(subset))
 	for hi := len(pats); hi > 0; hi -= 64 {
 		lo := hi - 64
 		if lo < 0 {
 			lo = 0
 		}
 		chunk := pats[lo:hi]
-		v1 := make([]logic.Word, len(d.Flops))
-		pis := make([]logic.Word, len(d.PIs))
+		slotV1, slotPI = slotV1[:0], slotPI[:0]
 		for s := range chunk {
-			for i, v := range chunk[s].V1 {
-				v1[i] = v1[i].Set(uint(s), v)
-			}
-			for i, v := range chunk[s].PIs {
-				pis[i] = pis[i].Set(uint(s), v)
-			}
+			slotV1 = append(slotV1, chunk[s].V1)
+			slotPI = append(slotPI, chunk[s].PIs)
 		}
-		valid := uint64(1)<<uint(len(chunk)) - 1
-		if len(chunk) == 64 {
-			valid = ^uint64(0)
-		}
-		b := fs.GoodSim(v1, pis, dom, valid)
-		for _, fi := range subset {
-			if l.Status[fi] != fault.Undetected {
-				continue
-			}
-			det := fs.Detect(b, &l.Faults[fi])
-			if det == 0 {
+		v1 = logic.PackSlots(v1, slotV1)
+		pis = logic.PackSlots(pis, slotPI)
+		b := fs.GoodSim(v1, pis, dom, logic.ValidMask(len(chunk)))
+		// The re-simulation of the chunk fans out across fs.Workers; the
+		// keep/mark merge below is serial in subset order, so the result
+		// is bit-identical to the serial pass.
+		fs.DetectAll(l, subset, b, dets, true)
+		for i, fi := range subset {
+			det := dets[i]
+			if det == 0 || l.Status[fi] != fault.Undetected {
 				continue
 			}
 			// Credit the fault to the latest pattern in original order:
 			// the highest set slot (greedy reverse order semantics).
-			slot := 63
-			for det&(1<<uint(slot)) == 0 {
-				slot--
-			}
+			slot := 63 - bits.LeadingZeros64(det)
 			keep[lo+slot] = true
 			l.MarkDetected(fi, lo+slot)
 		}

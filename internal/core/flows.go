@@ -211,25 +211,43 @@ func (ps *profScratch) launch(sys *System, v1, pis []logic.V, dom int, onToggle 
 // owning a cloned meter and timing simulator; every pattern writes only
 // its own slot, so the output is identical for any worker count.
 func (sys *System) ProfilePatterns(fr *FlowResult) ([]PatternProfile, error) {
+	idx := make([]int, len(fr.Patterns))
+	for i := range idx {
+		idx[i] = i
+	}
+	return sys.ProfilePatternsAt(fr, idx)
+}
+
+// ProfilePatternsAt is ProfilePatterns restricted to a subset of pattern
+// indexes — the exact-verification half of the screen-then-verify
+// pipeline (feed it ScreenTop's selection). out[i] profiles
+// fr.Patterns[idx[i]] and carries the original pattern index.
+func (sys *System) ProfilePatternsAt(fr *FlowResult, idx []int) ([]PatternProfile, error) {
 	defer obs.StartSpan("profile-patterns").End()
+	for _, pi := range idx {
+		if pi < 0 || pi >= len(fr.Patterns) {
+			return nil, fmt.Errorf("core: profile index %d out of range (%d patterns)", pi, len(fr.Patterns))
+		}
+	}
 	workers := parallel.Resolve(sys.Workers)
-	if workers > len(fr.Patterns) && len(fr.Patterns) > 0 {
-		workers = len(fr.Patterns)
+	if workers > len(idx) && len(idx) > 0 {
+		workers = len(idx)
 	}
 	pool := sys.profPool(workers)
-	out := make([]PatternProfile, len(fr.Patterns))
-	err := parallel.For(workers, len(fr.Patterns), func(w, i int) error {
-		p := &fr.Patterns[i]
+	out := make([]PatternProfile, len(idx))
+	err := parallel.For(workers, len(idx), func(w, i int) error {
+		pi := idx[i]
+		p := &fr.Patterns[pi]
 		s := &pool[w]
 		s.meter.Reset()
 		res, err := s.launch(sys, p.V1, p.PIs, fr.Dom, s.toggle)
 		if err != nil {
-			return fmt.Errorf("core: profile pattern %d: %w", i, err)
+			return fmt.Errorf("core: profile pattern %d: %w", pi, err)
 		}
 		blocks := s.meter.ReportBlocks(sys.Period)
 		chip := &blocks[sys.D.NumBlocks]
 		pp := &out[i]
-		pp.Index, pp.Target, pp.Step = i, p.Target, p.Step
+		pp.Index, pp.Target, pp.Step = pi, p.Target, p.Step
 		pp.TargetBlock = fr.Faults.Faults[p.Target].Block
 		pp.STW = res.STW
 		pp.Toggles = res.Toggles

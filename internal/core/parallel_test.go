@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"scap/internal/pgrid"
@@ -238,5 +240,106 @@ func TestMonteCarloIRDrop(t *testing.T) {
 	}
 	if _, err := sys.MonteCarloIRDrop(0, 1); err == nil {
 		t.Fatal("zero trials accepted")
+	}
+}
+
+// TestGradeDetectionsDeterministicAcrossWorkers: the batched grading
+// engine packs 64 patterns per good-machine batch and fans both the
+// timing launches and the failure-signature propagations across the
+// pool; the merged report must be bit-identical for any worker count.
+func TestGradeDetectionsDeterministicAcrossWorkers(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	setWorkers(t, sys, 1)
+	serial, err := sys.GradeDetections(conv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		sys.Workers = workers
+		par, err := sys.GradeDetections(conv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: report differs from serial\nserial: %+v\npar:    %+v",
+				workers, summary(serial), summary(par))
+		}
+	}
+}
+
+func summary(r *QualityReport) string {
+	return fmt.Sprintf("%d grades, mean %.9f, worst %.9f, best %.9f, deciles %v",
+		len(r.Grades), r.MeanSlack, r.WorstSlack, r.BestSlack, r.Deciles)
+}
+
+// TestScreenPatternsDeterministicAcrossWorkers: batches write
+// index-addressed slots and the per-slot energies accumulate in fixed
+// instance order, so the screen is bit-identical for any worker count.
+func TestScreenPatternsDeterministicAcrossWorkers(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	setWorkers(t, sys, 1)
+	serial, err := sys.ScreenPatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		sys.Workers = workers
+		par, err := sys.ScreenPatterns(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: screens differ from serial", workers)
+		}
+	}
+}
+
+// TestScreenTopSelection pins the triage contract: the selection is the
+// requested fraction (rounded up), sorted ascending, and every selected
+// pattern's block estimate dominates every rejected one's.
+func TestScreenTopSelection(t *testing.T) {
+	sys, _, conv, _ := build(t)
+	screens, err := sys.ScreenPatterns(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(screens) != len(conv.Patterns) {
+		t.Fatalf("screened %d of %d patterns", len(screens), len(conv.Patterns))
+	}
+	const block = soc.B5
+	top := ScreenTop(screens, block, 0.25)
+	wantN := (len(screens) + 3) / 4
+	if len(top) != wantN {
+		t.Fatalf("kept %d, want %d", len(top), wantN)
+	}
+	sel := make(map[int]bool, len(top))
+	minSel := math.Inf(1)
+	for i, pi := range top {
+		if i > 0 && top[i] <= top[i-1] {
+			t.Fatal("selection not sorted ascending")
+		}
+		sel[pi] = true
+		if v := screens[pi].EstBlockCAPVdd[block]; v < minSel {
+			minSel = v
+		}
+	}
+	for i := range screens {
+		if !sel[i] && screens[i].EstBlockCAPVdd[block] > minSel {
+			t.Fatalf("rejected pattern %d estimate %v above kept minimum %v",
+				i, screens[i].EstBlockCAPVdd[block], minSel)
+		}
+	}
+	// The exact profiler accepts the selection directly.
+	prof, err := sys.ProfilePatternsAt(conv, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != len(top) {
+		t.Fatalf("profiled %d, want %d", len(prof), len(top))
+	}
+	for i, pi := range top {
+		if prof[i].Index != pi {
+			t.Fatalf("profile %d carries index %d, want %d", i, prof[i].Index, pi)
+		}
 	}
 }

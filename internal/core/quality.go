@@ -6,8 +6,10 @@ import (
 	"sort"
 
 	"scap/internal/fault"
+	"scap/internal/faultsim"
 	"scap/internal/logic"
 	"scap/internal/obs"
+	"scap/internal/parallel"
 )
 
 // FaultGrade records through how long a path one fault was detected.
@@ -39,9 +41,25 @@ type QualityReport struct {
 	Deciles [10]int
 }
 
+// gradeEntry is one (fault, detecting pattern) pair scheduled into a
+// 64-pattern batch: slot is the pattern's slot in the packed good-machine
+// batch, pat its index in the flow's pattern list.
+type gradeEntry struct {
+	fi, slot, pat int
+}
+
 // GradeDetections measures, for up to maxFaults detected faults of the
 // flow, the timing-simulated delay of the paths their detecting patterns
 // exercise. Faults are graded against their first detecting pattern.
+//
+// The grading engine is fully packed: detecting patterns are grouped 64
+// per good-machine batch (one GoodSim where the old path ran one per
+// pattern with a single valid slot), the per-pattern timing launches and
+// the per-fault failure-signature propagations both fan out across
+// sys.Workers, and signatures come from the allocation-free FailSlots
+// instead of a fresh map per fault. Batches run in sorted pattern order
+// and the per-fault results merge serially in schedule order, so the
+// report is bit-identical for any worker count.
 func (sys *System) GradeDetections(fr *FlowResult, maxFaults int) (*QualityReport, error) {
 	defer obs.StartSpan("grade-detections").End()
 	if maxFaults <= 0 {
@@ -72,45 +90,120 @@ func (sys *System) GradeDetections(fr *FlowResult, maxFaults int) (*QualityRepor
 	}
 	sort.Ints(pats)
 
-	pool := sys.profPool(1)
-	ps := &pool[0]
-	rep := &QualityReport{PeriodNs: sys.Period, BestSlack: math.Inf(1)}
+	workers := parallel.Resolve(sys.Workers)
+	tpool := sys.profPool(workers)
+	// Per-worker fault simulators: the shared FSim serves worker 0, the
+	// rest get clones with private cone scratch.
+	sims := make([]*faultsim.Sim, workers)
+	sims[0] = sys.FSim
+	for w := 1; w < workers; w++ {
+		sims[w] = sys.FSim.Clone()
+	}
 
-	v1W := make([]logic.Word, len(d.Flops))
-	piW := make([]logic.Word, len(d.PIs))
-	for _, pi := range pats {
-		p := &fr.Patterns[pi]
-		// Timing: per-endpoint arrivals for this pattern (no power
-		// accounting needed — the meter stays idle, the scratch is reused).
-		res, err := ps.launch(sys, p.V1, p.PIs, fr.Dom, nil)
+	rep := &QualityReport{PeriodNs: sys.Period, BestSlack: math.Inf(1)}
+	nf := len(d.Flops)
+	nSlots := 64
+	if len(pats) < nSlots {
+		nSlots = len(pats)
+	}
+	// Per-slot endpoint timing of the batch's patterns (copied out of the
+	// worker launch scratches, reused across batches).
+	arr := make([][]float64, nSlots)
+	act := make([][]bool, nSlots)
+	for s := range arr {
+		arr[s] = make([]float64, nf)
+		act[s] = make([]bool, nf)
+	}
+	var v1W, piW []logic.Word
+	slotV1 := make([][]logic.V, 0, nSlots)
+	slotPI := make([][]logic.V, 0, nSlots)
+	var entries []gradeEntry
+	var delays []float64
+
+	for lo := 0; lo < len(pats); lo += 64 {
+		hi := lo + 64
+		if hi > len(pats) {
+			hi = len(pats)
+		}
+		batch := pats[lo:hi]
+
+		// One packed good-machine simulation for the whole batch.
+		slotV1, slotPI = slotV1[:0], slotPI[:0]
+		for _, pi := range batch {
+			slotV1 = append(slotV1, fr.Patterns[pi].V1)
+			slotPI = append(slotPI, fr.Patterns[pi].PIs)
+		}
+		v1W = logic.PackSlots(v1W, slotV1)
+		piW = logic.PackSlots(piW, slotPI)
+		b := sys.FSim.GoodSim(v1W, piW, fr.Dom, logic.ValidMask(len(batch)))
+
+		// Timing: per-endpoint arrivals of every batch pattern (no power
+		// accounting — the meters stay idle, the scratches are reused).
+		tw := workers
+		if tw > len(batch) {
+			tw = len(batch)
+		}
+		err := parallel.For(tw, len(batch), func(w, s int) error {
+			p := &fr.Patterns[batch[s]]
+			res, err := tpool[w].launch(sys, p.V1, p.PIs, fr.Dom, nil)
+			if err != nil {
+				return fmt.Errorf("core: grading pattern %d: %w", batch[s], err)
+			}
+			copy(arr[s], res.EndpointArrival)
+			copy(act[s], res.EndpointActive)
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("core: grading pattern %d: %w", pi, err)
+			return nil, err
 		}
-		// Fault observation points for this single pattern.
-		for i := range v1W {
-			v1W[i] = logic.Splat(p.V1[i])
+
+		// Fault grading: propagate every scheduled fault's failure
+		// signature through the packed batch, one index-addressed delay
+		// per entry.
+		entries = entries[:0]
+		for s, pi := range batch {
+			for _, fi := range byPat[pi] {
+				entries = append(entries, gradeEntry{fi: fi, slot: s, pat: pi})
+			}
 		}
-		for i := range piW {
-			piW[i] = logic.Splat(p.PIs[i])
+		if cap(delays) < len(entries) {
+			delays = make([]float64, len(entries))
 		}
-		b := sys.FSim.GoodSim(v1W, piW, fr.Dom, 1)
-		for _, fi := range byPat[pi] {
-			masks := sys.FSim.FailMasks(b, &l.Faults[fi])
+		delays = delays[:len(entries)]
+		fw := workers
+		if fw > len(entries) {
+			fw = len(entries)
+		}
+		err = parallel.For(fw, len(entries), func(w, i int) error {
+			e := entries[i]
+			flops, masks := sims[w].FailSlots(b, &l.Faults[e.fi])
+			bit := uint64(1) << uint(e.slot)
 			delay := 0.0
-			for flop, m := range masks {
-				if m&1 == 0 || !res.EndpointActive[flop] {
+			for j, flop := range flops {
+				if masks[j]&bit == 0 || !act[e.slot][flop] {
 					continue
 				}
-				dd := res.EndpointArrival[flop] - sys.Tree.Arrival(d.Flops[flop])
+				dd := arr[e.slot][flop] - sys.Tree.Arrival(d.Flops[flop])
 				if dd > delay {
 					delay = dd
 				}
 			}
+			delays[i] = delay
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Serial merge in schedule order: identical float accumulation for
+		// any worker count.
+		for i := range entries {
+			e, delay := &entries[i], delays[i]
 			if delay <= 0 {
 				continue // fault observed through a non-transitioning path
 			}
 			g := FaultGrade{
-				Fault: fi, Pattern: pi,
+				Fault: e.fi, Pattern: e.pat,
 				DetectDelayNs: delay, SlackNs: sys.Period - delay,
 			}
 			rep.Grades = append(rep.Grades, g)

@@ -140,6 +140,7 @@ func Build(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: faultsim: %w", err)
 	}
+	fs.Workers = cfg.Workers
 	sys := &System{
 		Cfg: cfg, D: d, Plan: plan, FP: fp, SC: sc,
 		Sim: s, FSim: fs,
@@ -260,10 +261,14 @@ func (sys *System) LaunchStateInto(ls *sim.LaunchScratch, v2, capBuf []logic.V, 
 // NewFaultList returns a fresh collapsed fault universe for the design.
 func (sys *System) NewFaultList() *fault.List { return fault.Universe(sys.D) }
 
-// ATPG runs one ATPG invocation against the given fault list.
+// ATPG runs one ATPG invocation against the given fault list. The fault
+// simulator inherits sys.Workers, so the fault-dropping sweeps inside the
+// run fan out across the worker pool (results are identical for any
+// worker count).
 func (sys *System) ATPG(l *fault.List, opts atpg.Options) (*atpg.Result, error) {
 	if opts.BacktrackLimit == 0 {
 		opts.BacktrackLimit = sys.Cfg.BacktrackLimit
 	}
+	sys.FSim.Workers = sys.Workers
 	return atpg.Run(sys.FSim, l, sys.SC, opts)
 }

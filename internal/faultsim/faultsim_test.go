@@ -346,3 +346,180 @@ func TestDetectionCountsAccumulate(t *testing.T) {
 		t.Fatalf("q1 STR detected %d times, want 2 (slots 0 and 2)", counts[target])
 	}
 }
+
+// socHarness builds the SOC-scale simulator trio plus a deterministic set
+// of packed batches for the parallel-identity properties.
+func socHarness(t *testing.T, seed int64, nBatches int) (*netlist.Design, *Sim, []*Batch) {
+	t.Helper()
+	d, _, err := soc.Generate(soc.DefaultConfig(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	batches := make([]*Batch, nBatches)
+	for bi := range batches {
+		v1 := make([]logic.Word, len(d.Flops))
+		pis := make([]logic.Word, len(d.PIs))
+		for i := range v1 {
+			ones := r.Uint64()
+			v1[i] = logic.Word{Zero: ^ones, One: ones}
+		}
+		for i := range pis {
+			ones := r.Uint64()
+			pis[i] = logic.Word{Zero: ^ones, One: ones}
+		}
+		batches[bi] = fs.GoodSim(v1, pis, 0, ^uint64(0))
+	}
+	return d, fs, batches
+}
+
+// TestDropParallelBitIdentical is the tentpole's concurrency contract:
+// sharding the fault-dropping sweep across any worker count — and feeding
+// the subset in any order — must reproduce the serial statuses and
+// earliest-detecting-pattern marks exactly (run under -race via the
+// Makefile's test-race gate).
+func TestDropParallelBitIdentical(t *testing.T) {
+	d, fs, batches := socHarness(t, 23, 3)
+	baseSubset := fault.Universe(d).InDomain(0)
+
+	run := func(workers int, subset []int) *fault.List {
+		fs.Workers = workers
+		defer func() { fs.Workers = 0 }()
+		l := fault.Universe(d)
+		for bi, b := range batches {
+			fs.Drop(l, subset, b, bi*64)
+		}
+		return l
+	}
+	want := run(1, baseSubset)
+
+	shuffled := append([]int(nil), baseSubset...)
+	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	cases := []struct {
+		name    string
+		workers int
+		subset  []int
+	}{
+		{"workers=1/shuffled", 1, shuffled},
+		{"workers=2", 2, baseSubset},
+		{"workers=8", 8, baseSubset},
+		{"workers=8/shuffled", 8, shuffled},
+	}
+	detected := 0
+	for _, c := range cases {
+		got := run(c.workers, c.subset)
+		for fi := range want.Status {
+			if got.Status[fi] != want.Status[fi] || got.DetectedBy[fi] != want.DetectedBy[fi] {
+				t.Fatalf("%s: fault %d: status %v by %d, want %v by %d", c.name, fi,
+					got.Status[fi], got.DetectedBy[fi], want.Status[fi], want.DetectedBy[fi])
+			}
+		}
+	}
+	for fi := range want.Status {
+		if want.Status[fi] == fault.Detected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("degenerate test: nothing detected")
+	}
+}
+
+// TestDetectionCountsParallelBitIdentical: the n-detect accounting must
+// also be exact for any worker count and subset order.
+func TestDetectionCountsParallelBitIdentical(t *testing.T) {
+	d, fs, batches := socHarness(t, 31, 2)
+	l := fault.Universe(d)
+	subset := l.InDomain(0)
+
+	run := func(workers int, subset []int) []int {
+		fs.Workers = workers
+		defer func() { fs.Workers = 0 }()
+		counts := make([]int, len(l.Faults))
+		for _, b := range batches {
+			fs.DetectionCounts(l, subset, b, counts)
+		}
+		return counts
+	}
+	want := run(1, subset)
+
+	shuffled := append([]int(nil), subset...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	for _, workers := range []int{2, 8} {
+		got := run(workers, subset)
+		for fi := range want {
+			if got[fi] != want[fi] {
+				t.Fatalf("workers=%d: fault %d: count %d, want %d", workers, fi, got[fi], want[fi])
+			}
+		}
+	}
+	gotShuf := run(8, shuffled)
+	total := 0
+	for fi := range want {
+		if gotShuf[fi] != want[fi] {
+			t.Fatalf("shuffled: fault %d: count %d, want %d", fi, gotShuf[fi], want[fi])
+		}
+		total += want[fi]
+	}
+	if total == 0 {
+		t.Fatal("degenerate test: no detections counted")
+	}
+}
+
+// TestFailSlotsMatchesFailMasks: the allocation-free signature path and
+// its map wrapper are two views of the same propagation, and repeated
+// calls must not leak signature state.
+func TestFailSlotsMatchesFailMasks(t *testing.T) {
+	d, fs, batches := socHarness(t, 57, 1)
+	l := fault.Universe(d)
+	b := batches[0]
+	checked := 0
+	for fi := 0; fi < len(l.Faults) && checked < 200; fi += 5 {
+		f := &l.Faults[fi]
+		masks := fs.FailMasks(b, f)
+		flops, ms := fs.FailSlots(b, f)
+		if len(flops) != len(ms) || len(flops) != len(masks) {
+			t.Fatalf("fault %s: %d flops / %d masks / map %d", l.String(fi), len(flops), len(ms), len(masks))
+		}
+		for i, flop := range flops {
+			if masks[flop] != ms[i] {
+				t.Fatalf("fault %s flop %d: slots %b vs map %b", l.String(fi), flop, ms[i], masks[flop])
+			}
+		}
+		if len(flops) > 0 {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("degenerate test: no failing fault sampled")
+	}
+}
+
+// TestCloneSharesTablesNotScratch: a clone must agree with its parent on
+// every detection while owning disjoint scratch (exercised here by
+// interleaving the two on different faults).
+func TestCloneSharesTablesNotScratch(t *testing.T) {
+	d, fs, batches := socHarness(t, 71, 1)
+	l := fault.Universe(d)
+	b := batches[0]
+	c := fs.Clone()
+	for fi := 0; fi < len(l.Faults) && fi < 150; fi++ {
+		want := fs.Detect(b, &l.Faults[fi])
+		c.Detect(b, &l.Faults[(fi+37)%len(l.Faults)]) // desync the clone's scratch
+		if again := c.Detect(b, &l.Faults[fi]); again != want {
+			t.Fatalf("fault %d: clone %b, parent %b", fi, again, want)
+		}
+	}
+}

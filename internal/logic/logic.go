@@ -184,6 +184,50 @@ func (w Word) Diff(x Word) uint64 {
 // WellFormed reports whether no slot has both the Zero and One bit set.
 func (w Word) WellFormed() bool { return w.Zero&w.One == 0 }
 
+// PackSlots transposes up to 64 scalar vectors into their packed Word
+// form: the result r satisfies r[i].Get(s) == vecs[s][i] for every vector
+// s and position i; slots >= len(vecs) are X. All vectors must share the
+// length of vecs[0]. dst is reused when its capacity suffices (each word
+// is written exactly once, so stale contents never leak), making the
+// transpose allocation-free in steady state — the batch builders in ATPG,
+// static compaction, fault grading and the packed screen all sit on it.
+func PackSlots(dst []Word, vecs [][]V) []Word {
+	if len(vecs) == 0 {
+		return dst[:0]
+	}
+	n := len(vecs[0])
+	if cap(dst) < n {
+		dst = make([]Word, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := 0; i < n; i++ {
+		var z, o uint64
+		for s := range vecs {
+			switch vecs[s][i] {
+			case Zero:
+				z |= 1 << uint(s)
+			case One:
+				o |= 1 << uint(s)
+			}
+		}
+		dst[i] = Word{Zero: z, One: o}
+	}
+	return dst
+}
+
+// ValidMask returns the slot mask covering the first n of 64 slots — the
+// Valid mask of a batch carrying n packed patterns.
+func ValidMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	if n <= 0 {
+		return 0
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
 // Select returns a Word that takes slots from a where mask bits are 0 and
 // from b where mask bits are 1.
 func Select(mask uint64, a, b Word) Word {

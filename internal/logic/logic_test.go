@@ -214,3 +214,77 @@ func TestKnownMask(t *testing.T) {
 		t.Fatalf("Known = %b want %b", w.Known(), want)
 	}
 }
+
+// TestPackSlotsRoundTrip: the transpose must agree with the slot-by-slot
+// Word.Set construction it replaces, for random vectors and every count.
+func TestPackSlotsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, count := range []int{1, 2, 7, 63, 64} {
+		const n = 37
+		vecs := make([][]V, count)
+		for s := range vecs {
+			vecs[s] = make([]V, n)
+			for i := range vecs[s] {
+				vecs[s][i] = V(r.Intn(3))
+			}
+		}
+		want := make([]Word, n)
+		for s := range vecs {
+			for i, v := range vecs[s] {
+				want[i] = want[i].Set(uint(s), v)
+			}
+		}
+		got := PackSlots(nil, vecs)
+		if len(got) != n {
+			t.Fatalf("count %d: length %d want %d", count, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("count %d word %d: %v want %v", count, i, got[i], want[i])
+			}
+			if !got[i].WellFormed() {
+				t.Fatalf("count %d word %d ill-formed", count, i)
+			}
+			for s := count; s < 64; s++ {
+				if got[i].Get(uint(s)) != X {
+					t.Fatalf("count %d word %d: invalid slot %d not X", count, i, s)
+				}
+			}
+		}
+	}
+}
+
+// TestPackSlotsReusesBuffer: a large-enough dst must be reused (no stale
+// slots survive because every word is rewritten) and resized down.
+func TestPackSlotsReusesBuffer(t *testing.T) {
+	buf := make([]Word, 10)
+	for i := range buf {
+		buf[i] = AllOne
+	}
+	vecs := [][]V{{Zero, One, X}}
+	got := PackSlots(buf, vecs)
+	if len(got) != 3 || &got[0] != &buf[0] {
+		t.Fatalf("buffer not reused: len %d", len(got))
+	}
+	if got[0].Get(0) != Zero || got[1].Get(0) != One || got[2].Get(0) != X {
+		t.Fatalf("values wrong: %v %v %v", got[0], got[1], got[2])
+	}
+	if got[0].Get(1) != X {
+		t.Fatal("stale slot leaked from reused buffer")
+	}
+	if out := PackSlots(buf, nil); len(out) != 0 {
+		t.Fatalf("empty input gave %d words", len(out))
+	}
+}
+
+func TestValidMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{{0, 0}, {1, 1}, {3, 0b111}, {63, 1<<63 - 1}, {64, ^uint64(0)}, {100, ^uint64(0)}, {-1, 0}}
+	for _, c := range cases {
+		if got := ValidMask(c.n); got != c.want {
+			t.Fatalf("ValidMask(%d) = %b want %b", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package power
+
+import (
+	"math/bits"
+
+	"scap/internal/logic"
+	"scap/internal/obs"
+)
+
+var cPackedEstimates = obs.NewCounter("power.packed_estimates")
+
+// PackedEstimate is the zero-delay switching estimate of up to 64 packed
+// patterns: for every pattern slot, the toggle count and switched energy
+// a settled-frames view of the launch cycle predicts. It deliberately
+// ignores glitches and the switching time window — it is the cheap triage
+// in front of the exact event-driven meter, not a replacement — so it
+// exposes energies (fJ) rather than SCAP, and callers average over the
+// tester period (a CAP-style figure) to rank patterns.
+type PackedEstimate struct {
+	// Valid masks the slots that carried real patterns; other slots hold
+	// zeros.
+	Valid uint64
+	// Toggles[s] counts gate outputs whose settled frame-1 and frame-2
+	// values differ in slot s (both defined).
+	Toggles []int
+	// TotalToggles is the toggle count summed over all valid slots
+	// (equals the sum of Toggles — accumulated independently via
+	// popcounts as a consistency cross-check).
+	TotalToggles int
+	// EnergyVDD[s] / EnergyVSS[s] are the chip-level switched energies
+	// (fJ) of slot s: rising edges charge from VDD, falling edges
+	// discharge into VSS.
+	EnergyVDD, EnergyVSS []float64
+	// BlockEnergyVDD[s][b] is slot s's rising-edge energy in block b.
+	BlockEnergyVDD [][]float64
+}
+
+// CAPVdd returns slot s's estimated VDD cycle-average power (mW) over the
+// tester period.
+func (e *PackedEstimate) CAPVdd(s int, periodNs float64) float64 {
+	return mw(e.EnergyVDD[s], periodNs)
+}
+
+// PackedEstimate computes the zero-delay switching estimate of up to 64
+// packed patterns in one pass over the design: per gate output, the
+// dual-rail XOR of the settled frame-1 and frame-2 words (`Diff`, the
+// defined-difference mask) gives the slots that toggle, `bits.OnesCount64`
+// totals them, and each set bit adds the instance's switched capacitance ×
+// VDD² to its slot's (and block's) energy. n1 and n2 are per-net settled
+// values (a faultsim Batch's N1/N2); valid masks the live slots. Flop
+// outputs are included — the event-driven meter counts their launch-edge Q
+// transitions too, so the estimate stays comparable. The meter's
+// accumulated pattern state is untouched; the method reads only the
+// immutable capacitance table and is safe to call concurrently on meter
+// clones.
+func (m *Meter) PackedEstimate(n1, n2 []logic.Word, valid uint64) *PackedEstimate {
+	cPackedEstimates.Add(1)
+	d := m.d
+	nb := d.NumBlocks
+	est := &PackedEstimate{
+		Valid:     valid,
+		Toggles:   make([]int, 64),
+		EnergyVDD: make([]float64, 64),
+		EnergyVSS: make([]float64, 64),
+	}
+	est.BlockEnergyVDD = make([][]float64, 64)
+	for s := range est.BlockEnergyVDD {
+		est.BlockEnergyVDD[s] = make([]float64, nb)
+	}
+	for i := range d.Insts {
+		out := d.Insts[i].Out
+		w1, w2 := n1[out], n2[out]
+		rising := w1.Zero & w2.One & valid
+		falling := w1.One & w2.Zero & valid
+		diff := rising | falling // == w1.Diff(w2) & valid
+		if diff == 0 {
+			continue
+		}
+		est.TotalToggles += bits.OnesCount64(diff)
+		e := m.capOf[i] * m.vdd2
+		block := d.Insts[i].Block
+		for ms := diff; ms != 0; ms &= ms - 1 {
+			s := bits.TrailingZeros64(ms)
+			est.Toggles[s]++
+			if rising&(1<<uint(s)) != 0 {
+				est.EnergyVDD[s] += e
+				if block >= 0 {
+					est.BlockEnergyVDD[s][block] += e
+				}
+			} else {
+				est.EnergyVSS[s] += e
+			}
+		}
+	}
+	return est
+}
+
+// Estimate is the scalar single-pattern counterpart of PackedEstimate —
+// the reference the packed path is property-tested against (bit-identical
+// floats: both accumulate in instance order).
+type Estimate struct {
+	Toggles              int
+	EnergyVDD, EnergyVSS float64
+	BlockEnergyVDD       []float64
+}
+
+// ZeroDelayEstimate computes the zero-delay switching estimate of one
+// pattern from scalar settled frames (per-net values, e.g. a Simulator
+// Propagate result per frame).
+func (m *Meter) ZeroDelayEstimate(n1, n2 []logic.V) *Estimate {
+	d := m.d
+	est := &Estimate{BlockEnergyVDD: make([]float64, d.NumBlocks)}
+	for i := range d.Insts {
+		out := d.Insts[i].Out
+		v1, v2 := n1[out], n2[out]
+		if v1 == logic.X || v2 == logic.X || v1 == v2 {
+			continue
+		}
+		est.Toggles++
+		e := m.capOf[i] * m.vdd2
+		if v2 == logic.One {
+			est.EnergyVDD += e
+			if b := d.Insts[i].Block; b >= 0 {
+				est.BlockEnergyVDD[b] += e
+			}
+		} else {
+			est.EnergyVSS += e
+		}
+	}
+	return est
+}

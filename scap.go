@@ -159,6 +159,19 @@ func WriteVerilog(w io.Writer, sys *System) error { return verilog.Write(w, sys.
 // screening quality); produced by System.GradeDetections.
 type QualityReport = core.QualityReport
 
+// PatternScreen is the packed zero-delay pre-screen estimate of one
+// pattern; produced by System.ScreenPatterns, 64 patterns per packed
+// good-machine batch and popcount pass.
+type PatternScreen = core.PatternScreen
+
+// ScreenTop returns the indexes of the top fraction of screened patterns
+// ranked by estimated VDD CAP in the given block (negative or
+// out-of-range block ranks on the chip total) — feed the selection to
+// System.ProfilePatternsAt for exact verification.
+func ScreenTop(screens []PatternScreen, block int, frac float64) []int {
+	return core.ScreenTop(screens, block, frac)
+}
+
 // FunctionalPower is the mission-mode switching baseline; produced by
 // System.FunctionalPowerSim.
 type FunctionalPower = core.FunctionalPower
@@ -167,6 +180,7 @@ type FunctionalPower = core.FunctionalPower
 // set, preserving its detected-fault coverage with fewer patterns. The
 // fault list must be freshly created (NewFaultList).
 func CompactPatterns(sys *System, l *FaultList, pats []Pattern, dom int) ([]Pattern, error) {
+	sys.FSim.Workers = sys.Workers
 	return atpg.CompactReverse(sys.FSim, l, pats, dom)
 }
 
