@@ -1,6 +1,7 @@
 package scap
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"scap/internal/faultsim"
 	"scap/internal/logic"
 	"scap/internal/pgrid"
+	"scap/internal/place"
 	"scap/internal/power"
 	"scap/internal/repro"
 	"scap/internal/sim"
@@ -560,6 +562,124 @@ func BenchmarkPgridWarmStart(b *testing.B) {
 			b.ReportMetric(float64(sol.Iterations), "sweeps")
 		}
 	})
+}
+
+// --- grid-scale sweep -----------------------------------------------------
+
+// gridScaleCache shares one built-and-factored grid per mesh size
+// across the sweep's sub-benchmarks, so the harness's growing b.N never
+// re-pays a factorization and the per-pattern numbers stay pure solves.
+var gridScaleCache = struct {
+	sync.Mutex
+	grids map[int]*pgrid.Grid
+	injs  map[int][]float64
+}{grids: map[int]*pgrid.Grid{}, injs: map[int][]float64{}}
+
+func gridScaleGrid(b *testing.B, n int) (*pgrid.Grid, []float64) {
+	b.Helper()
+	gridScaleCache.Lock()
+	defer gridScaleCache.Unlock()
+	if g, ok := gridScaleCache.grids[n]; ok {
+		return g, gridScaleCache.injs[n]
+	}
+	p := pgrid.DefaultParams()
+	p.N = n
+	g, err := pgrid.New(place.NewFloorplan(), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A deterministic scattered injection (~1% of nodes carrying a few
+	// mA each), the spatial shape per-pattern switching currents take.
+	rnd := rand.New(rand.NewSource(int64(n)))
+	inj := make([]float64, n*n)
+	for i := 0; i < len(inj)/100+1; i++ {
+		inj[rnd.Intn(len(inj))] += 1 + 4*rnd.Float64()
+	}
+	gridScaleCache.grids[n] = g
+	gridScaleCache.injs[n] = inj
+	return g, inj
+}
+
+// BenchmarkGridScale is the asymptotic-crossover sweep behind the
+// sparse solver tier (DESIGN.md "Solver hierarchy"): per-pattern solve
+// time versus node count for each tier, n=32 through 512 (262,144
+// nodes). The banded tier stops at n=256 — at n=512 its factor alone
+// stores nn·bw ≈ 1 GB and costs O(N·bw²) ≈ 7e10 flops — and SOR stops
+// at n=128; the sparse tier runs the full range. The name deliberately
+// avoids the 'Solve|Factor' bench-json regex so the timed bench-json
+// pass doesn't run the sweep twice.
+func BenchmarkGridScale(b *testing.B) {
+	tiers := []struct {
+		name  string
+		maxN  int
+		solve func(b *testing.B, g *pgrid.Grid, inj []float64)
+	}{
+		{"sparse", 512, func(b *testing.B, g *pgrid.Grid, inj []float64) {
+			if _, err := g.SparseFactor(); err != nil {
+				b.Fatal(err)
+			}
+			var sol *pgrid.Solution
+			var scratch pgrid.SolveScratch
+			var err error
+			if sol, err = g.SolveSparse(inj, sol, &scratch); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sol, err = g.SolveSparse(inj, sol, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"banded", 256, func(b *testing.B, g *pgrid.Grid, inj []float64) {
+			if _, err := g.Factor(); err != nil {
+				b.Fatal(err)
+			}
+			var sol *pgrid.Solution
+			var scratch pgrid.SolveScratch
+			var err error
+			if sol, err = g.SolveFactored(inj, sol, &scratch); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sol, err = g.SolveFactored(inj, sol, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sor-warm", 128, func(b *testing.B, g *pgrid.Grid, inj []float64) {
+			base, err := g.Solve(inj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := append([]float64(nil), base.Drop...)
+			var sol *pgrid.Solution
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sol, err = g.SolveWarm(inj, warm, sol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, n := range []int{32, 64, 128, 256, 512} {
+		for _, tier := range tiers {
+			if n > tier.maxN {
+				continue
+			}
+			tier := tier
+			n := n
+			b.Run(fmt.Sprintf("%s/n=%d", tier.name, n), func(b *testing.B) {
+				g, inj := gridScaleGrid(b, n)
+				tier.solve(b, g, inj)
+				b.ReportMetric(float64(n*n), "grid_nodes")
+			})
+		}
+	}
 }
 
 // --- packed fault-sim benches --------------------------------------------

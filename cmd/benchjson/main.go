@@ -36,6 +36,7 @@ type result struct {
 type benchReport struct {
 	Schema     string         `json:"schema"`
 	Provenance obs.Provenance `json:"provenance"`
+	Warning    string         `json:"warning,omitempty"`
 	Results    []result       `json:"results"`
 }
 
@@ -64,6 +65,12 @@ func main() {
 		Schema:     benchSchemaVersion,
 		Provenance: obs.CollectProvenance(),
 		Results:    []result{},
+	}
+	// A single-CPU host cannot separate serial from parallel variants;
+	// flag it in the report itself so a reader comparing bench files
+	// doesn't mistake flat parallel speedups for a regression.
+	if rep.Provenance.NumCPU == 1 {
+		rep.Warning = "benchmarked on a single-CPU host: serial and parallel variants are not comparable"
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

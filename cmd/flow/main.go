@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flow [-scale N] [-out dir] [-workers W] [-solver factored|sor] [-screen F]
+//	flow [-scale N] [-out dir] [-workers W] [-solver factored|sparse|sor] [-screen F]
 //	     [-cpuprofile F] [-memprofile F] [-report F.json] [-metrics-addr :6060]
 //
 // With -screen F (0 < F <= 1) the packed zero-delay pre-screen ranks each
@@ -37,7 +37,7 @@ func main() {
 	scale := flag.Int("scale", 8, "design scale divisor")
 	out := flag.String("out", "flow_out", "artifact directory")
 	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
-	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
+	solverName := flag.String("solver", "factored", core.SolverFlagUsage)
 	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at flow end to this file")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W] [-solver factored|sor]
+//	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W] [-solver factored|sparse|sor]
 //	       [-report F.json] [-metrics-addr :6060]
 package main
 
@@ -32,7 +32,7 @@ func main() {
 	showMap := flag.Bool("map", false, "render the VDD drop heatmap")
 	doFTAS := flag.Bool("ftas", false, "run the faster-than-at-speed overkill sweep")
 	workers := flag.Int("workers", 0, "analysis workers (0 = all cores, 1 = serial)")
-	solverName := flag.String("solver", "factored", "power-grid solver: factored (banded LDLᵀ, default) | sor (iterative fallback)")
+	solverName := flag.String("solver", "factored", core.SolverFlagUsage)
 	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()

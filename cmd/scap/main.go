@@ -6,7 +6,7 @@
 // Usage:
 //
 //	scap [-scale N] [-flow conventional|new] [-block B5] [-top K] [-plot] [-workers W]
-//	     [-screen F] [-report F.json] [-metrics-addr :6060]
+//	     [-solver factored|sparse|sor] [-screen F] [-report F.json] [-metrics-addr :6060]
 //
 // With -screen F (0 < F <= 1) the packed zero-delay pre-screen ranks all
 // patterns by estimated switching in the profiled block first, and the
@@ -38,6 +38,7 @@ func main() {
 	plot := flag.Bool("plot", false, "render the SCAP scatter plot")
 	waveform := flag.Bool("waveform", false, "render the hottest pattern's instantaneous power waveform")
 	workers := flag.Int("workers", 0, "pattern-profiling workers (0 = all cores, 1 = serial)")
+	solverName := flag.String("solver", "factored", core.SolverFlagUsage)
 	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
 	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
@@ -46,6 +47,11 @@ func main() {
 	die(parallel.ValidateWorkers(*workers))
 	if *screen < 0 || *screen > 1 {
 		fmt.Fprintln(os.Stderr, "scap: -screen must be in [0, 1]")
+		os.Exit(2)
+	}
+	solver, err := core.ParseSolver(*solverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scap:", err)
 		os.Exit(2)
 	}
 	die(obs.SetupCLI(*report, *metricsAddr))
@@ -64,6 +70,7 @@ func main() {
 	t0 := time.Now()
 	cfg := core.DefaultConfig(*scale)
 	cfg.Workers = *workers
+	cfg.Solver = solver
 	sys, err := core.Build(cfg)
 	die(err)
 	stat, err := sys.Statistical()

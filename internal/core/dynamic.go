@@ -183,14 +183,15 @@ func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropS
 	}
 
 	if sys.Solver != SolverSOR {
-		// Factored path: the shared factorization makes every solve
-		// exact and independent, so all patterns fan out at once. Factor
-		// both rails up front rather than inside the first solves, so
-		// the one-time cost is not attributed to a worker's pattern.
-		if _, err := sys.GridVDD.Factor(); err != nil {
+		// Direct paths (banded or sparse): the shared factorization makes
+		// every solve exact and independent, so all patterns fan out at
+		// once. Factor both rails up front rather than inside the first
+		// solves, so the one-time cost is not attributed to a worker's
+		// pattern.
+		if err := sys.prefactor(sys.GridVDD); err != nil {
 			return nil, err
 		}
-		if _, err := sys.GridVSS.Factor(); err != nil {
+		if err := sys.prefactor(sys.GridVSS); err != nil {
 			return nil, err
 		}
 		if err := parallel.For(workers, n, func(w, i int) error {

@@ -155,18 +155,24 @@ func TestDynamicIRDropAllSORWarmStart(t *testing.T) {
 }
 
 // TestDynamicIRDropAllSolverEquivalence is the cross-solver acceptance
-// contract: the batched analysis must agree field-for-field between the
-// factored direct path and the SOR fallback within 1e-9 V once SOR runs
-// at a tolerance tight enough to be comparable to an exact solve. (The
-// default 1e-7 SOR tolerance is what the factored solver removes; the
-// grids themselves are identical because calibration is always exact.)
+// contract: the batched analysis must agree field-for-field across all
+// three solver tiers — banded factored, sparse nested-dissection LDLᵀ,
+// and the SOR fallback — within 1e-9 V once SOR runs at a tolerance
+// tight enough to be comparable to an exact solve. (The default 1e-7
+// SOR tolerance is what the direct solvers remove; the grids themselves
+// are identical because calibration is always exact.)
 func TestDynamicIRDropAllSolverEquivalence(t *testing.T) {
 	sys, _, conv, _ := build(t)
 	fac, err := sys.DynamicIRDropAll(conv, ModelSCAP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	setSolver(t, sys, SolverSOR)
+	setSolver(t, sys, SolverSparse)
+	sparse, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Solver = SolverSOR
 	for _, g := range []*pgrid.Grid{sys.GridVDD, sys.GridVSS} {
 		oldTol, oldIter := g.P.Tol, g.P.MaxIter
 		g.P.Tol, g.P.MaxIter = 1e-13, 400000
@@ -176,29 +182,35 @@ func TestDynamicIRDropAllSolverEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fac) != len(sor) {
-		t.Fatalf("lengths %d vs %d", len(fac), len(sor))
-	}
+
 	const tol = 1e-9
-	for i := range fac {
-		f, s := &fac[i], &sor[i]
-		if f.Index != s.Index || f.Model != s.Model || f.STW != s.STW {
-			t.Fatalf("pattern %d: metadata differs: %+v vs %+v", i, f, s)
+	compare := func(name string, other []IRDropSummary) {
+		t.Helper()
+		if len(fac) != len(other) {
+			t.Fatalf("%s: lengths %d vs %d", name, len(fac), len(other))
 		}
-		if len(f.WorstVDD) != len(s.WorstVDD) || len(f.WorstVSS) != len(s.WorstVSS) {
-			t.Fatalf("pattern %d: block slice lengths differ", i)
-		}
-		for b := range f.WorstVDD {
-			if d := math.Abs(f.WorstVDD[b] - s.WorstVDD[b]); d > tol {
-				t.Fatalf("pattern %d block %d: VDD factored %v vs SOR %v (|d|=%v)",
-					i, b, f.WorstVDD[b], s.WorstVDD[b], d)
+		for i := range fac {
+			f, s := &fac[i], &other[i]
+			if f.Index != s.Index || f.Model != s.Model || f.STW != s.STW {
+				t.Fatalf("%s pattern %d: metadata differs: %+v vs %+v", name, i, f, s)
 			}
-			if d := math.Abs(f.WorstVSS[b] - s.WorstVSS[b]); d > tol {
-				t.Fatalf("pattern %d block %d: VSS factored %v vs SOR %v (|d|=%v)",
-					i, b, f.WorstVSS[b], s.WorstVSS[b], d)
+			if len(f.WorstVDD) != len(s.WorstVDD) || len(f.WorstVSS) != len(s.WorstVSS) {
+				t.Fatalf("%s pattern %d: block slice lengths differ", name, i)
+			}
+			for b := range f.WorstVDD {
+				if d := math.Abs(f.WorstVDD[b] - s.WorstVDD[b]); d > tol {
+					t.Fatalf("pattern %d block %d: VDD factored %v vs %s %v (|d|=%v)",
+						i, b, f.WorstVDD[b], name, s.WorstVDD[b], d)
+				}
+				if d := math.Abs(f.WorstVSS[b] - s.WorstVSS[b]); d > tol {
+					t.Fatalf("pattern %d block %d: VSS factored %v vs %s %v (|d|=%v)",
+						i, b, f.WorstVSS[b], name, s.WorstVSS[b], d)
+				}
 			}
 		}
 	}
+	compare("sparse", sparse)
+	compare("sor", sor)
 }
 
 // TestMonteCarloIRDrop: determinism across worker counts, envelope

@@ -22,34 +22,76 @@ const (
 	// (the factor stores N³ floats) and the cross-validation oracle the
 	// equivalence tests run against.
 	SolverSOR
+	// SolverSparse solves against the grid's cached sparse LDLᵀ
+	// factorization under a geometric nested-dissection ordering. Same
+	// exactness and sharing discipline as SolverFactored, but factor
+	// storage is O(N·log N) instead of the banded N³, so it scales to
+	// meshes the banded tier cannot hold. Per-pattern cost is two sparse
+	// triangular sweeps over nnz(L).
+	SolverSparse
 )
 
 // String names the solver the way the -solver flag spells it.
 func (s Solver) String() string {
-	if s == SolverSOR {
+	switch s {
+	case SolverSOR:
 		return "sor"
+	case SolverSparse:
+		return "sparse"
 	}
 	return "factored"
 }
+
+// SolverNames lists the accepted -solver spellings, in the order the
+// CLIs document them. ParseSolver renders its error from this one list,
+// so every CLI rejects a bad -solver with the same accepted set.
+const SolverNames = "factored|sparse|sor"
+
+// SolverFlagUsage is the shared help text the CLIs register their
+// -solver flag with, so the three frontends (irdrop, flow, scap)
+// document the tiers identically.
+const SolverFlagUsage = "power-grid solver: factored (banded LDLᵀ, default) | sparse (nested-dissection LDLᵀ, large meshes) | sor (iterative fallback)"
 
 // ParseSolver maps a -solver flag value onto a Solver.
 func ParseSolver(name string) (Solver, error) {
 	switch name {
 	case "", "factored":
 		return SolverFactored, nil
+	case "sparse":
+		return SolverSparse, nil
 	case "sor":
 		return SolverSOR, nil
 	}
-	return 0, fmt.Errorf("core: unknown solver %q (want factored or sor)", name)
+	return 0, fmt.Errorf("core: unknown solver %q (want %s)", name, SolverNames)
 }
 
 // solveRail solves one rail injection with the system's configured
 // solver. The reuse hooks are all optional: warm (an initial guess)
-// applies only to the SOR path, scratch only to the factored path, and
-// reuse recycles the Solution under both.
+// applies only to the SOR path, scratch applies to the factored and
+// sparse paths (they share the work vector), and reuse recycles the
+// Solution under all three.
 func (sys *System) solveRail(g *pgrid.Grid, inj, warm []float64, reuse *pgrid.Solution, scratch *pgrid.SolveScratch) (*pgrid.Solution, error) {
-	if sys.Solver == SolverSOR {
+	switch sys.Solver {
+	case SolverSOR:
 		return g.SolveWarm(inj, warm, reuse)
+	case SolverSparse:
+		return g.SolveSparse(inj, reuse, scratch)
 	}
 	return g.SolveFactored(inj, reuse, scratch)
+}
+
+// prefactor builds the configured direct factorization for g up front,
+// on the calling goroutine, so the one-time factor cost (and its obs
+// span) lands outside the worker pool and per-pattern timing. A no-op
+// for the iterative SOR tier.
+func (sys *System) prefactor(g *pgrid.Grid) error {
+	switch sys.Solver {
+	case SolverSOR:
+		return nil
+	case SolverSparse:
+		_, err := g.SparseFactor()
+		return err
+	}
+	_, err := g.Factor()
+	return err
 }

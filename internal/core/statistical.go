@@ -40,6 +40,14 @@ type StatAnalysis struct {
 // Statistical runs the paper's Section 2.2 analysis on both windows.
 func (sys *System) Statistical() (*StatAnalysis, error) {
 	defer obs.StartSpan("statistical").End()
+	// Build the direct factorizations on this goroutine before the rail
+	// solves fan out, so the one-time factor spans nest under
+	// "statistical" rather than inside a pool worker.
+	for _, g := range []*pgrid.Grid{sys.GridVDD, sys.GridVSS} {
+		if err := sys.prefactor(g); err != nil {
+			return nil, fmt.Errorf("core: statistical factorization: %w", err)
+		}
+	}
 	an := &StatAnalysis{ToggleProb: sys.Cfg.ToggleProb, HotBlock: -1}
 	var cur []float64 // per-instance currents buffer shared by both windows
 	for i, window := range []float64{sys.Period, sys.Period / 2} {
@@ -157,7 +165,7 @@ func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
 			return nil, fmt.Errorf("core: MC baseline: %w", err)
 		}
 		warm = base.Drop
-	} else if _, err := g.Factor(); err != nil {
+	} else if err := sys.prefactor(g); err != nil {
 		return nil, fmt.Errorf("core: MC factorization: %w", err)
 	}
 

@@ -63,7 +63,8 @@ type Config struct {
 	Workers int
 
 	// Solver picks the power-grid solve path: the cached banded-LDLᵀ
-	// factorization (SolverFactored, the default) or the iterative SOR
+	// factorization (SolverFactored, the default), the sparse LDLᵀ under
+	// a nested-dissection ordering (SolverSparse), or the iterative SOR
 	// fallback (SolverSOR). Grid calibration always uses the exact
 	// factored solve, so the built grids are identical across choices.
 	Solver Solver
@@ -153,6 +154,11 @@ func Build(cfg Config) (*System, error) {
 	if err := sys.buildGrids(); err != nil {
 		return nil, err
 	}
+	// Surface the solver tier and mesh geometry in the run report's info
+	// block; the sparse tier adds its factor nnz/fill when it builds.
+	obs.SetRunInfo("solver", sys.Solver.String())
+	obs.SetRunInfo("grid_mesh_n", sys.GridVDD.P.N)
+	obs.SetRunInfo("grid_nodes", sys.GridVDD.P.N*sys.GridVDD.P.N)
 	return sys, nil
 }
 

@@ -18,6 +18,9 @@ func resetForTest(t *testing.T) {
 	reg.perWorker = map[string]*PerWorker{}
 	reg.derived = map[string]func(map[string]int64) (float64, bool){}
 	reg.mu.Unlock()
+	runInfo.mu.Lock()
+	runInfo.kv = map[string]any{}
+	runInfo.mu.Unlock()
 	trace.mu.Lock()
 	trace.epoch = time.Time{}
 	trace.roots = nil

@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"scap/internal/textplot"
@@ -16,7 +17,32 @@ import (
 
 // SchemaVersion identifies the run-report JSON layout. Bump it on any
 // structural change; the golden-file test pins the current shape.
-const SchemaVersion = "scap/run-report/v1"
+// v2 added the free-form `info` block (solver tier, mesh geometry,
+// sparse-factor fill — see SetRunInfo).
+const SchemaVersion = "scap/run-report/v2"
+
+// runInfo is the process-wide run-information block: small key/value
+// facts about how the run was configured or what the build produced
+// (selected solver tier, mesh edge and node count, sparse factor
+// nnz/fill ratio). Unlike counters these are set-once descriptive
+// values, surfaced both in the JSON report and the exit-time summary.
+var runInfo = struct {
+	mu sync.Mutex
+	kv map[string]any
+}{kv: map[string]any{}}
+
+// SetRunInfo records one descriptive run fact under key, overwriting
+// any previous value. Values must be JSON-marshalable (strings and
+// numbers in practice). A no-op while instrumentation is disabled, like
+// all recording.
+func SetRunInfo(key string, v any) {
+	if !enabled.Load() {
+		return
+	}
+	runInfo.mu.Lock()
+	runInfo.kv[key] = v
+	runInfo.mu.Unlock()
+}
 
 // Provenance records where and how a report was produced, so numbers
 // stay comparable across machines and commits.
@@ -121,6 +147,7 @@ type Report struct {
 	Tool       string                     `json:"tool"`
 	Provenance Provenance                 `json:"provenance"`
 	Config     any                        `json:"config,omitempty"`
+	Info       map[string]any             `json:"info,omitempty"`
 	Stages     []*SpanReport              `json:"stages,omitempty"`
 	Counters   map[string]int64           `json:"counters,omitempty"`
 	Gauges     map[string]int64           `json:"gauges,omitempty"`
@@ -139,6 +166,15 @@ func BuildReport(tool string, config any) *Report {
 		Provenance: CollectProvenance(),
 		Config:     config,
 	}
+
+	runInfo.mu.Lock()
+	if len(runInfo.kv) > 0 {
+		r.Info = make(map[string]any, len(runInfo.kv))
+		for k, v := range runInfo.kv {
+			r.Info[k] = v
+		}
+	}
+	runInfo.mu.Unlock()
 
 	reg.mu.Lock()
 	counters := make(map[string]int64, len(reg.counters))
@@ -251,6 +287,16 @@ func (r *Report) SummaryTable() string {
 	}
 	var b strings.Builder
 	b.WriteString(textplot.StageTable(rows, 32, "stage summary"))
+	if len(r.Info) > 0 {
+		keys := make([]string, 0, len(r.Info))
+		for k := range r.Info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s = %v\n", k, r.Info[k])
+		}
+	}
 	if len(r.Derived) > 0 {
 		keys := make([]string, 0, len(r.Derived))
 		for k := range r.Derived {

@@ -33,6 +33,9 @@ func buildGoldenReport(t *testing.T) *Report {
 	RegisterDerived("pgrid.factor.cache_hits", func(c map[string]int64) (float64, bool) {
 		return float64(c["pgrid.factor.calls"] - c["pgrid.factor.builds"]), c["pgrid.factor.calls"] > 0
 	})
+	SetRunInfo("solver", "sparse")
+	SetRunInfo("grid_mesh_n", 40)
+	SetRunInfo("sparse_fill_ratio", 2.5)
 
 	flow := StartSpan("flow") // t=0
 	atpg := StartSpan("atpg") // t=10
@@ -67,7 +70,7 @@ func buildGoldenReport(t *testing.T) *Report {
 // with `go test ./internal/obs -run Golden -update`.
 func TestReportGolden(t *testing.T) {
 	r := buildGoldenReport(t)
-	if r.Schema != "scap/run-report/v1" {
+	if r.Schema != "scap/run-report/v2" {
 		t.Fatalf("schema = %q; bump the golden and this pin together", r.Schema)
 	}
 	got, err := json.MarshalIndent(r, "", "  ")
@@ -122,7 +125,7 @@ func TestReportWriteFile(t *testing.T) {
 func TestSummaryTable(t *testing.T) {
 	r := buildGoldenReport(t)
 	s := r.SummaryTable()
-	for _, want := range []string{"stage summary", "flow", "  atpg", "pgrid.factor.cache_hits = 6"} {
+	for _, want := range []string{"stage summary", "flow", "  atpg", "pgrid.factor.cache_hits = 6", "solver = sparse", "grid_mesh_n = 40"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary table missing %q:\n%s", want, s)
 		}

@@ -72,8 +72,8 @@ func DefaultParams() Params {
 
 // Validate reports parameter problems.
 func (p Params) Validate() error {
-	if p.N < 4 {
-		return fmt.Errorf("pgrid: N must be >= 4")
+	if p.N < 1 {
+		return fmt.Errorf("pgrid: N must be >= 1")
 	}
 	if p.SegRes <= 0 || p.PadRes <= 0 {
 		return fmt.Errorf("pgrid: resistances must be positive")
@@ -103,6 +103,13 @@ type Grid struct {
 	factOnce sync.Once
 	fact     *Factorization
 	factErr  error
+
+	// Cached sparse LDLᵀ factorization under the nested-dissection
+	// ordering (see sparse.go); same lazy build / shared read-only
+	// discipline as the banded factor.
+	sparseOnce sync.Once
+	sparse     *SparseFactorization
+	sparseErr  error
 }
 
 // New builds the mesh over the floorplan's die.

@@ -115,7 +115,7 @@ func TestSolveValidation(t *testing.T) {
 		t.Fatal("wrong injection length accepted")
 	}
 	bad := DefaultParams()
-	bad.N = 1
+	bad.N = 0
 	if _, err := New(place.NewFloorplan(), bad); err == nil {
 		t.Fatal("bad params accepted")
 	}

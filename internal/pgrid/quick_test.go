@@ -91,6 +91,54 @@ func TestQuickDropNonNegativeAndBounded(t *testing.T) {
 	}
 }
 
+// TestQuickThreeSolverTriangle closes the solver triangle on randomized
+// meshes: banded-vs-sparse, banded-vs-SOR, and sparse-vs-SOR must all
+// agree within 1e-9 V on every node, including the degenerate edge
+// sizes n=1,2,3 the nested-dissection recursion bottoms out on.
+func TestQuickThreeSolverTriangle(t *testing.T) {
+	const tol = 1e-9
+	f := func(seed uint32, nPick uint8, picks [4]uint16, amps [4]uint8) bool {
+		// Bias toward the tiny edge sizes, then sample up to 12.
+		sizes := []int{1, 2, 3, 4, 5, 6, 8, 10, 12}
+		p := DefaultParams()
+		p.N = sizes[int(nPick)%len(sizes)]
+		p.Tol = 1e-13
+		p.MaxIter = 400000
+		g, err := New(place.NewFloorplan(), p)
+		if err != nil {
+			return false
+		}
+		nn := p.N * p.N
+		inj := make([]float64, nn)
+		for i, pk := range picks {
+			inj[int(pk)%nn] += float64(amps[i]%40) + 1 + float64(seed%7)
+		}
+		banded, err := g.SolveFactored(inj, nil, nil)
+		if err != nil {
+			return false
+		}
+		sparse, err := g.SolveSparse(inj, nil, nil)
+		if err != nil {
+			return false
+		}
+		sor, err := g.Solve(inj)
+		if err != nil {
+			return false
+		}
+		for i := range banded.Drop {
+			if math.Abs(banded.Drop[i]-sparse.Drop[i]) > tol ||
+				math.Abs(banded.Drop[i]-sor.Drop[i]) > tol ||
+				math.Abs(sparse.Drop[i]-sor.Drop[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickMonotoneInCurrent: adding current anywhere never lowers any
 // node's drop.
 func TestQuickMonotoneInCurrent(t *testing.T) {
