@@ -27,6 +27,7 @@ bench-json:
 	  go test -run '^$$' -bench 'GridScale' -benchtime 1x -benchmem . ; } | go run ./cmd/benchjson -o BENCH_pgrid.json
 	go test -run '^$$' -bench 'Launch|TimingSimulation' -benchmem . | go run ./cmd/benchjson -o BENCH_sim.json
 	go test -run '^$$' -bench '^BenchmarkDrop$$|DetectionCounts|GradeFaultSim|GradeDetections|ScreenPatterns|ProfilePatternsSerial' -benchmem . | go run ./cmd/benchjson -o BENCH_faultsim.json
+	go test -run '^$$' -bench 'ATPGGenerate' -benchmem . | go run ./cmd/benchjson -o BENCH_atpg.json
 
 # CI-style tier-1 verify in one command.
 check:

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	atpg [-scale N] [-flow conventional|new] [-dom D] [-fill random|fill0|fill1|adjacent]
-//	     [-mode LOC|LOS] [-max M]
+//	atpg [-scale N] [-flow conventional|new|single] [-dom D] [-fill random|fill0|fill1|adjacent]
+//	     [-mode LOC|LOS] [-max M] [-workers W] [-engine packed|scalar]
+//
+// -workers shards test generation (and the fault-dropping sweeps) across
+// the worker pool; the pattern set is bit-identical for every worker
+// count. -engine selects the PODEM implication core for -flow single:
+// the packed speculative engine (default) or the scalar oracle.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"scap/internal/atpg"
 	"scap/internal/core"
 	"scap/internal/fault"
+	"scap/internal/parallel"
 	"scap/internal/pattern"
 	"scap/internal/soc"
 )
@@ -29,6 +35,8 @@ func main() {
 	fillName := flag.String("fill", "random", "don't-care fill: random | fill0 | fill1 | adjacent")
 	modeName := flag.String("mode", "LOC", "launch mode: LOC | LOS")
 	maxPats := flag.Int("max", 0, "pattern limit for -flow single (0 = unlimited)")
+	workers := flag.Int("workers", 0, "generation + fault-sim workers (0 = all cores, 1 = serial)")
+	engineName := flag.String("engine", "packed", "PODEM implication core for -flow single: packed | scalar")
 	outPath := flag.String("o", "", "write the generated pattern set to this file")
 	flag.Parse()
 
@@ -47,9 +55,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atpg: unknown mode", *modeName)
 		os.Exit(2)
 	}
+	if err := parallel.ValidateWorkers(*workers); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(2)
+	}
+	engine, ok := map[string]atpg.EngineKind{
+		"packed": atpg.EnginePacked, "scalar": atpg.EngineScalar,
+	}[*engineName]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "atpg: unknown engine", *engineName)
+		os.Exit(2)
+	}
 
 	t0 := time.Now()
-	sys, err := core.Build(core.DefaultConfig(*scale))
+	cfg := core.DefaultConfig(*scale)
+	cfg.Workers = *workers
+	sys, err := core.Build(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
 		os.Exit(1)
@@ -67,10 +88,15 @@ func main() {
 		var res *atpg.Result
 		res, err = sys.ATPG(l, atpg.Options{
 			Dom: *dom, Fill: fill, Mode: mode, Seed: 1, MaxPatterns: *maxPats,
+			Engine: engine,
 		})
 		if err == nil {
 			c := res.Counts
-			fmt.Printf("single run (%v, %v): %d patterns\n", mode, fill, len(res.Patterns))
+			fmt.Printf("single run (%v, %v, %v engine): %d patterns\n", mode, fill, engine, len(res.Patterns))
+			if g := res.Gen; g.Waves > 0 && len(res.Patterns) > 0 {
+				fmt.Printf("  implication: %d waves (%d speculative), %d decisions, %d backtracks (%d avoided)\n",
+					g.Waves, g.SpecWaves, g.Decisions, g.Backtracks, g.BacktracksAvoided)
+			}
 			fmt.Printf("  faults: %d targeted, %d detected, %d aborted, %d untestable\n",
 				c.Total, c.Detected, c.Aborted, c.Untestable)
 			fmt.Printf("  test coverage %.2f%%, fault coverage %.2f%%\n",

@@ -36,7 +36,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 8, "design scale divisor")
 	out := flag.String("out", "flow_out", "artifact directory")
-	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
+	workers := flag.Int("workers", 0, "pattern-analysis and ATPG-generation workers (0 = all cores, 1 = serial)")
 	solverName := flag.String("solver", "factored", core.SolverFlagUsage)
 	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")

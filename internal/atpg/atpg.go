@@ -9,18 +9,68 @@ import (
 	"scap/internal/logic"
 	"scap/internal/netlist"
 	"scap/internal/obs"
+	"scap/internal/parallel"
 	"scap/internal/scan"
 )
 
 // ATPG observability: the fill/expansion step is attributed separately
 // from generation (it runs once per emitted pattern), timed only while
-// instrumentation is enabled and flushed once per Run.
+// instrumentation is enabled and flushed once per Run. The implication
+// counters come from the per-engine genStats sums, so they are identical
+// for any worker count.
 var (
-	cATPGRuns     = obs.NewCounter("atpg.runs")
-	cATPGPatterns = obs.NewCounter("atpg.patterns")
-	cFillExpand   = obs.NewCounter("atpg.fill_expansions")
-	cFillBusyNs   = obs.NewCounter("atpg.fill_busy_ns")
+	cATPGRuns      = obs.NewCounter("atpg.runs")
+	cATPGPatterns  = obs.NewCounter("atpg.patterns")
+	cFillExpand    = obs.NewCounter("atpg.fill_expansions")
+	cFillBusyNs    = obs.NewCounter("atpg.fill_busy_ns")
+	cGenWaves      = obs.NewCounter("atpg.implication_waves")
+	cSpecWaves     = obs.NewCounter("atpg.spec_waves")
+	cSlotsCommit   = obs.NewCounter("atpg.slots_committed")
+	cSlotsPrune    = obs.NewCounter("atpg.slots_pruned")
+	cGenBacktracks = obs.NewCounter("atpg.backtracks")
+	cBTAvoided     = obs.NewCounter("atpg.backtracks_avoided")
 )
+
+func init() {
+	obs.RegisterDerived("atpg.waves_per_pattern", func(c map[string]int64) (float64, bool) {
+		if c["atpg.patterns"] <= 0 {
+			return 0, false
+		}
+		return float64(c["atpg.implication_waves"]) / float64(c["atpg.patterns"]), true
+	})
+	obs.RegisterDerived("atpg.spec_commit_share", func(c map[string]int64) (float64, bool) {
+		tot := c["atpg.slots_committed"] + c["atpg.slots_pruned"]
+		if tot <= 0 {
+			return 0, false
+		}
+		return float64(c["atpg.slots_committed"]) / float64(tot), true
+	})
+	obs.RegisterDerived("atpg.backtracks_avoided_share", func(c map[string]int64) (float64, bool) {
+		if c["atpg.backtracks"] <= 0 {
+			return 0, false
+		}
+		return float64(c["atpg.backtracks_avoided"]) / float64(c["atpg.backtracks"]), true
+	})
+}
+
+// EngineKind selects the PODEM implication core.
+type EngineKind uint8
+
+// Engine kinds. The packed speculative core is the default; the scalar
+// core is retained as its cross-validation oracle (both produce
+// bit-identical pattern sets, property-tested under -race).
+const (
+	EnginePacked EngineKind = iota
+	EngineScalar
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	if k == EngineScalar {
+		return "scalar"
+	}
+	return "packed"
+}
 
 // Options configures one ATPG run.
 type Options struct {
@@ -58,6 +108,13 @@ type Options struct {
 	// unbounded cube would cover a large fraction of a small block and
 	// defeat the fill-0 quieting that full-size designs get for free.
 	CareBudget int
+	// Engine selects the PODEM implication core: packed speculative
+	// (default) or the scalar oracle.
+	Engine EngineKind
+	// GenWorkers shards test generation itself across per-worker cloned
+	// engines (0 = all cores, 1 = serial). Epoch-based scheduling keeps
+	// the generated pattern set bit-identical for any worker count.
+	GenWorkers int
 }
 
 // Pattern is one fully specified launch-off-capture (or -shift) test:
@@ -75,6 +132,28 @@ type Pattern struct {
 	Step int
 }
 
+// GenStats tallies implication-engine work over one Run. The totals are
+// per-fault additive sums over all worker engines, so they are
+// deterministic and independent of the worker count.
+type GenStats struct {
+	// Waves counts two-frame implication waves, scalar and packed alike.
+	Waves int64
+	// SpecWaves counts packed speculative pair waves (each prices a
+	// decision value and its complement in one wave).
+	SpecWaves int64
+	// Decisions and Backtracks mirror the classical PODEM effort metrics.
+	Decisions  int64
+	Backtracks int64
+	// SlotsCommitted / SlotsPruned split speculative slots into the ones
+	// materialized onto the committed state and the ones killed by the
+	// conflict mask.
+	SlotsCommitted int64
+	SlotsPruned    int64
+	// BacktracksAvoided counts flips resolved from an already-computed
+	// slot instead of a dedicated discovery-plus-flip wave pair.
+	BacktracksAvoided int64
+}
+
 // Result is the outcome of one ATPG run.
 type Result struct {
 	Dom      int
@@ -85,6 +164,8 @@ type Result struct {
 	Subset []int
 	// Counts is the subset's status tally after the run.
 	Counts fault.Counts
+	// Gen aggregates implication-engine work (worker-independent).
+	Gen GenStats
 }
 
 // Run generates transition-fault patterns for the selected faults with
@@ -124,10 +205,10 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 	}
 
 	cfg := engineConfig{
-		dom:   opts.Dom,
-		mode:  opts.Mode,
-		seed:  opts.Seed,
-		limit: opts.BacktrackLimit,
+		dom:    opts.Dom,
+		mode:   opts.Mode,
+		limit:  opts.BacktrackLimit,
+		packed: opts.Engine == EnginePacked,
 	}
 	if opts.Blocks != nil {
 		cfg.prefer = map[int]bool{}
@@ -157,107 +238,204 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 
 	res := &Result{Dom: opts.Dom, Mode: opts.Mode, Fill: opts.Fill, Subset: subset}
 
-	var slotV1 [][]logic.V
-	var slotPI [][]logic.V
-	var v1W, piW []logic.Word // packed-batch buffers, reused across flushes
-	flush := func() {
-		if len(slotV1) == 0 {
-			return
-		}
-		v1W = logic.PackSlots(v1W, slotV1)
-		piW = logic.PackSlots(piW, slotPI)
-		valid := logic.ValidMask(len(slotV1))
-		base := opts.PatternBase + len(res.Patterns) - len(slotV1)
-		var b *faultsim.Batch
-		if opts.Mode == LOS {
-			b = fs.GoodSimShift(v1W, piW, opts.Dom, valid, cfg.shiftPrev)
-		} else {
-			b = fs.GoodSim(v1W, piW, opts.Dom, valid)
-		}
-		fs.Drop(l, subset, b, base)
-		slotV1, slotPI = slotV1[:0], slotPI[:0]
-	}
-
 	maxSec := opts.Compaction
 	if maxSec == 0 {
 		maxSec = 32
 	}
 	measureFill := obs.On()
 	var fillBusy int64
-	for si, fi := range subset {
-		if opts.MaxPatterns > 0 && len(res.Patterns) >= opts.MaxPatterns {
-			break
-		}
-		if l.Status[fi] != fault.Undetected {
-			continue
-		}
-		cube, disp := eng.generate(&l.Faults[fi])
-		switch disp {
-		case genAborted:
-			l.Status[fi] = fault.Aborted
-			continue
-		case genUntestable:
-			l.Status[fi] = fault.Untestable
-			continue
-		}
-		// Dynamic compaction: extend the cube with further undetected
-		// faults until a failure streak or the secondary budget is hit.
-		var secondaries []int
-		if maxSec > 0 {
-			streak := 0
-			for sj := si + 1; sj < len(subset) && len(secondaries) < maxSec && streak < 8; sj++ {
-				if opts.CareBudget > 0 && len(cube.State) >= opts.CareBudget {
-					break
-				}
-				fj := subset[sj]
-				if l.Status[fj] != fault.Undetected {
-					continue
-				}
-				c2, d2 := eng.generateWith(&l.Faults[fj], cube)
-				if d2 != genSuccess {
-					streak++
-					continue
-				}
-				streak = 0
-				for k, v := range c2.State {
-					cube.State[k] = v
-				}
-				for k, v := range c2.PIs {
-					cube.PIs[k] = v
-				}
-				secondaries = append(secondaries, fj)
+
+	// Epoch-based sharded generation. Each epoch snapshots the next (up
+	// to) 64 undetected primaries, generates them in parallel on
+	// per-worker cloned engines, merges serially in primary order, then
+	// fault-simulates the epoch's patterns as one packed batch and drops
+	// collateral detections before the next epoch is selected. Because
+	// the epoch window is a constant (one batch word, not a function of
+	// the worker count), the primaries each worker sees, the statuses
+	// frozen during the parallel section and the merge order are all
+	// worker-independent — the pattern set is bit-identical for
+	// -workers 1, 2 or 64.
+	genW := parallel.Resolve(opts.GenWorkers)
+	engines := []*engine{eng}
+
+	var (
+		slotV1, slotPI [][]logic.V
+		v1W, piW       []logic.Word // packed-batch buffers, reused across epochs
+		prim           []int        // subset positions targeted this epoch
+		outs           []genOut
+	)
+	cursor := 0
+	done := false
+	for !done {
+		prim = prim[:0]
+		for ; cursor < len(subset) && len(prim) < 64; cursor++ {
+			if l.Status[subset[cursor]] == fault.Undetected {
+				prim = append(prim, cursor)
 			}
 		}
-		var fillT0 time.Time
-		if measureFill {
-			fillT0 = time.Now()
+		if len(prim) == 0 {
+			break
 		}
-		v1, pis := fil.Expand(cube)
-		if measureFill {
-			fillBusy += time.Since(fillT0).Nanoseconds()
+		// Secondaries for dynamic compaction are scanned strictly past
+		// the epoch window (scanBase), in per-primary strided lanes, so
+		// no two primaries claim the same secondary and no primary is
+		// claimed mid-epoch.
+		scanBase := cursor
+		w := genW
+		if w > len(prim) {
+			w = len(prim)
 		}
-		patIdx := opts.PatternBase + len(res.Patterns)
-		res.Patterns = append(res.Patterns, Pattern{
-			V1: v1, PIs: pis, Target: fi, Secondaries: secondaries,
+		for len(engines) < w {
+			engines = append(engines, eng.clone())
+		}
+		if cap(outs) < len(prim) {
+			outs = make([]genOut, len(prim))
+		}
+		outs = outs[:len(prim)]
+		nLanes := len(prim)
+		// Fault statuses are frozen for the whole parallel section (all
+		// writes happen in the serial merge below), so the concurrent
+		// reads in genOne are race-free and snapshot-consistent.
+		parallel.For(w, nLanes, func(wk, i int) error {
+			outs[i] = genOne(engines[wk], l, subset, prim[i], i, nLanes, scanBase, maxSec, opts.CareBudget)
+			return nil
 		})
-		l.MarkDetected(fi, patIdx)
-		for _, fj := range secondaries {
-			l.MarkDetected(fj, patIdx)
+
+		// Serial merge in primary order: statuses, fill (whose rng
+		// consumes in pattern order), pattern numbering and the packed
+		// drop are all deterministic here.
+		slotV1, slotPI = slotV1[:0], slotPI[:0]
+		epochBase := opts.PatternBase + len(res.Patterns)
+		for i := range outs {
+			po := &outs[i]
+			fi := subset[prim[i]]
+			if l.Status[fi] != fault.Undetected {
+				continue
+			}
+			switch po.disp {
+			case genAborted:
+				l.Status[fi] = fault.Aborted
+				continue
+			case genUntestable:
+				l.Status[fi] = fault.Untestable
+				continue
+			}
+			// Lanes are disjoint, so secondaries are distinct across the
+			// epoch; the filter is a cheap invariant guard.
+			kept := po.secondaries[:0]
+			for _, fj := range po.secondaries {
+				if l.Status[fj] == fault.Undetected {
+					kept = append(kept, fj)
+				}
+			}
+			var fillT0 time.Time
+			if measureFill {
+				fillT0 = time.Now()
+			}
+			v1, pis := fil.Expand(po.cube)
+			if measureFill {
+				fillBusy += time.Since(fillT0).Nanoseconds()
+			}
+			patIdx := opts.PatternBase + len(res.Patterns)
+			res.Patterns = append(res.Patterns, Pattern{
+				V1: v1, PIs: pis, Target: fi, Secondaries: kept,
+			})
+			l.MarkDetected(fi, patIdx)
+			for _, fj := range kept {
+				l.MarkDetected(fj, patIdx)
+			}
+			slotV1 = append(slotV1, v1)
+			slotPI = append(slotPI, pis)
+			if opts.MaxPatterns > 0 && len(res.Patterns) >= opts.MaxPatterns {
+				done = true
+				break
+			}
 		}
-		slotV1 = append(slotV1, v1)
-		slotPI = append(slotPI, pis)
-		if len(slotV1) == 64 {
-			flush()
+		// Drop collaterally detected faults against this epoch's batch.
+		if len(slotV1) > 0 {
+			v1W = logic.PackSlots(v1W, slotV1)
+			piW = logic.PackSlots(piW, slotPI)
+			valid := logic.ValidMask(len(slotV1))
+			var b *faultsim.Batch
+			if opts.Mode == LOS {
+				b = fs.GoodSimShift(v1W, piW, opts.Dom, valid, cfg.shiftPrev)
+			} else {
+				b = fs.GoodSim(v1W, piW, opts.Dom, valid)
+			}
+			fs.Drop(l, subset, b, epochBase)
 		}
 	}
-	flush()
+
+	for _, en := range engines {
+		res.Gen.Waves += en.stats.waves
+		res.Gen.SpecWaves += en.stats.specWaves
+		res.Gen.Decisions += en.stats.decisions
+		res.Gen.Backtracks += en.stats.backtracks
+		res.Gen.SlotsCommitted += en.stats.slotsCommit
+		res.Gen.SlotsPruned += en.stats.slotsPrune
+		res.Gen.BacktracksAvoided += en.stats.avoided
+	}
 
 	cATPGRuns.Add(1)
 	cATPGPatterns.Add(int64(len(res.Patterns)))
 	cFillExpand.Add(int64(len(res.Patterns)))
 	cFillBusyNs.Add(fillBusy)
+	cGenWaves.Add(res.Gen.Waves)
+	cSpecWaves.Add(res.Gen.SpecWaves)
+	cSlotsCommit.Add(res.Gen.SlotsCommitted)
+	cSlotsPrune.Add(res.Gen.SlotsPruned)
+	cGenBacktracks.Add(res.Gen.Backtracks)
+	cBTAvoided.Add(res.Gen.BacktracksAvoided)
 	res.Counts = l.CountOf(subset)
 	return res, nil
+}
+
+// genOut is one epoch primary's generation product, merged serially.
+type genOut struct {
+	cube        Cube
+	disp        engineResult
+	secondaries []int
+}
+
+// genOne generates the pattern cube for one epoch primary and dynamically
+// compacts further undetected faults into it. It reads shared fault
+// statuses (frozen during the epoch's parallel section) and touches only
+// its own engine, so concurrent calls are race-free; its result depends
+// only on the engine configuration and the status snapshot, never on the
+// worker running it.
+func genOne(eng *engine, l *fault.List, subset []int, pos, lane, nLanes, scanBase, maxSec, careBudget int) genOut {
+	fi := subset[pos]
+	cube, disp := eng.generate(&l.Faults[fi])
+	out := genOut{cube: cube, disp: disp}
+	if disp != genSuccess || maxSec <= 0 {
+		return out
+	}
+	// Dynamic compaction over this lane's stride of the undetected tail,
+	// until a failure streak or the secondary budget is hit.
+	streak := 0
+	for sj := scanBase + lane; sj < len(subset) && len(out.secondaries) < maxSec && streak < 8; sj += nLanes {
+		if careBudget > 0 && len(cube.State) >= careBudget {
+			break
+		}
+		fj := subset[sj]
+		if l.Status[fj] != fault.Undetected {
+			continue
+		}
+		c2, d2 := eng.generateWith(&l.Faults[fj], cube)
+		if d2 != genSuccess {
+			streak++
+			continue
+		}
+		streak = 0
+		for k, v := range c2.State {
+			cube.State[k] = v
+		}
+		for k, v := range c2.PIs {
+			cube.PIs[k] = v
+		}
+		out.secondaries = append(out.secondaries, fj)
+	}
+	return out
 }
 
 // shiftSources maps each flop to the frame-1 net that reaches it after one

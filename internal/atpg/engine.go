@@ -16,8 +16,6 @@
 package atpg
 
 import (
-	"math/rand"
-
 	"scap/internal/cell"
 	"scap/internal/logic"
 	"scap/internal/netlist"
@@ -85,14 +83,27 @@ type objective struct {
 	val   logic.V
 }
 
+// genStats tallies implication-engine work. Per-fault additive, so the
+// totals summed over all worker engines at the end of a Run are
+// independent of the worker count and of which worker ran which fault.
+type genStats struct {
+	waves       int64 // implication waves, scalar and packed together
+	specWaves   int64 // packed speculative pair waves
+	decisions   int64 // decisions committed to the stack
+	backtracks  int64 // decision flips
+	slotsCommit int64 // speculative slots materialized onto the trail
+	slotsPrune  int64 // speculative slots killed by the conflict mask
+	avoided     int64 // flips resolved from an already-computed slot
+}
+
 // engine is the two-frame PODEM machine. One engine is reused across all
-// faults of one (domain, mode) run.
+// faults of one (domain, mode) run; clone() gives each generation worker
+// its own.
 type engine struct {
 	d      *netlist.Design
 	dom    int
 	mode   LaunchMode
 	levels []int32
-	rng    *rand.Rand
 
 	val1 []logic.V // frame-1 net values
 	val2 []logic.V // frame-2 good-machine values
@@ -119,6 +130,12 @@ type engine struct {
 	cone  []netlist.InstID // frame-2 fanout cone, topo order
 	obs   []netlist.NetID  // observable D nets (dom flops) in the cone
 
+	// obsSeen/obsGen dedup observable endpoints in setupFault: a net is
+	// "seen this fault" when its stamp equals the current generation, so
+	// resetting between faults is a single counter bump.
+	obsSeen []uint32
+	obsGen  uint32
+
 	// propagation buckets, one per level and frame
 	b1, b2   [][]netlist.InstID
 	q1, q2   []bool
@@ -130,14 +147,26 @@ type engine struct {
 	// prefer marks the blocks the run is targeting: the D-frontier tries
 	// to keep propagation inside them (nil = no preference).
 	prefer map[int]bool
+
+	// spec is the packed speculative overlay (nil selects the scalar
+	// oracle); specOn burst-gates pair speculation within one fault's
+	// search — on at every conflict event, off again at the first clean
+	// slot-0 commit, so pair waves are only paid in the conflict-dense
+	// stretches right after backtracks where they can win.
+	spec   *specState
+	specOn bool
+
+	stats genStats
 }
 
-// engineConfig parameterizes engine construction.
+// engineConfig parameterizes engine construction. The search itself is
+// fully deterministic — no randomness enters between a (fault, base)
+// pair and its cube.
 type engineConfig struct {
 	dom       int
 	mode      LaunchMode
-	seed      int64
 	limit     int                              // backtrack limit before aborting a fault
+	packed    bool                             // use the packed speculative implication core
 	excludePI map[int]bool                     // PI indexes never used as decisions (scan pins)
 	constPI   map[int]logic.V                  // PI indexes pinned to a constant (scan enable)
 	shiftPrev map[netlist.InstID]netlist.NetID // LOS: flop -> frame-1 source net
@@ -157,10 +186,10 @@ func newEngine(d *netlist.Design, cfg engineConfig) (*engine, error) {
 	}
 	e := &engine{
 		d: d, dom: cfg.dom, mode: cfg.mode, levels: lv,
-		rng:      rand.New(rand.NewSource(cfg.seed)),
 		val1:     make([]logic.V, d.NumNets()),
 		val2:     make([]logic.V, d.NumNets()),
 		valf:     make([]logic.V, d.NumNets()),
+		obsSeen:  make([]uint32, d.NumNets()),
 		xfer:     make(map[netlist.NetID][]netlist.InstID),
 		xferSrc:  make(map[netlist.InstID]netlist.NetID),
 		hold:     make(map[netlist.InstID]bool),
@@ -169,6 +198,9 @@ func newEngine(d *netlist.Design, cfg engineConfig) (*engine, error) {
 		maxLevel: ml,
 		limit:    cfg.limit,
 		prefer:   cfg.prefer,
+	}
+	if cfg.packed {
+		e.spec = newSpecState(d, ml)
 	}
 	for i := range e.val1 {
 		e.val1[i], e.val2[i], e.valf[i] = logic.X, logic.X, logic.X
@@ -376,9 +408,10 @@ func (e *engine) dirty2() bool {
 	return false
 }
 
-// assignInput applies one decision value to an input variable and
-// propagates both frames.
-func (e *engine) assignInput(in inputRef, v logic.V) {
+// place writes one input-variable value into both frames and schedules
+// its fanout without settling it — callers batch several placements into
+// one wave (applyBaseBatch) or settle immediately (assignInput).
+func (e *engine) place(in inputRef, v logic.V) {
 	if in.isPI {
 		n := e.d.PIs[in.idx]
 		e.set(0, n, v)
@@ -393,5 +426,49 @@ func (e *engine) assignInput(in inputRef, v logic.V) {
 			e.set2both(q, v)
 		}
 	}
+}
+
+// assignInput applies one decision value to an input variable and
+// propagates both frames.
+func (e *engine) assignInput(in inputRef, v logic.V) {
+	e.place(in, v)
+	e.stats.waves++
 	e.wave()
+}
+
+// clone returns an engine for another generation worker: all construction
+// state that is read-only after newEngine (design, levels, transfer maps,
+// PI policies, block preferences) is shared, while every mutable search
+// structure (value arrays, trail, decision stack, buckets, overlay) is
+// private. Engines are stateless between faults (teardown restores all-X),
+// so a clone produces bit-identical cubes to its original for any
+// (fault, base) pair — the property the epoch scheduler rests on.
+func (e *engine) clone() *engine {
+	c := &engine{
+		d: e.d, dom: e.dom, mode: e.mode, levels: e.levels,
+		val1:        make([]logic.V, len(e.val1)),
+		val2:        make([]logic.V, len(e.val2)),
+		valf:        make([]logic.V, len(e.valf)),
+		obsSeen:     make([]uint32, len(e.obsSeen)),
+		xfer:        e.xfer,
+		xferSrc:     e.xferSrc,
+		hold:        e.hold,
+		flopIdx:     e.flopIdx,
+		decidablePI: e.decidablePI,
+		piConst:     e.piConst,
+		maxLevel:    e.maxLevel,
+		limit:       e.limit,
+		prefer:      e.prefer,
+	}
+	for i := range c.val1 {
+		c.val1[i], c.val2[i], c.valf[i] = logic.X, logic.X, logic.X
+	}
+	c.b1 = make([][]netlist.InstID, e.maxLevel+2)
+	c.b2 = make([][]netlist.InstID, e.maxLevel+2)
+	c.q1 = make([]bool, e.d.NumInsts())
+	c.q2 = make([]bool, e.d.NumInsts())
+	if e.spec != nil {
+		c.spec = newSpecState(e.d, e.maxLevel)
+	}
+	return c
 }

@@ -39,7 +39,7 @@ func TestEngineJustifiesAndTree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	eng, err := newEngine(d, engineConfig{dom: 0, seed: 1, limit: 64})
+	eng, err := newEngine(d, engineConfig{dom: 0, limit: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

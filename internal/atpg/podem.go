@@ -28,14 +28,22 @@ func (e *engine) setupFault(f *fault.Fault) bool {
 	e.cone = cone
 
 	// Observable endpoints: D nets of target-domain flops fed by the site
-	// or by cone gates.
+	// or by cone gates. Dedup via the engine's generation-stamped net
+	// marks: bumping the generation invalidates every stale stamp at once,
+	// so this runs allocation-free once per fault across the whole list.
 	e.obs = e.obs[:0]
-	seen := map[netlist.NetID]bool{}
+	e.obsGen++
+	if e.obsGen == 0 { // stamp wrapped: clear the slate once
+		for i := range e.obsSeen {
+			e.obsSeen[i] = 0
+		}
+		e.obsGen = 1
+	}
 	addObsOf := func(n netlist.NetID) {
 		for _, ld := range e.d.Nets[n].Loads {
 			inst := &e.d.Insts[ld.Inst]
-			if inst.IsFlop() && ld.Pin == 0 && inst.Domain == e.dom && !seen[n] {
-				seen[n] = true
+			if inst.IsFlop() && ld.Pin == 0 && inst.Domain == e.dom && e.obsSeen[n] != e.obsGen {
+				e.obsSeen[n] = e.obsGen
 				e.obs = append(e.obs, n)
 			}
 		}
@@ -48,8 +56,15 @@ func (e *engine) setupFault(f *fault.Fault) bool {
 		return false
 	}
 
-	// Fault injection and pinned PIs.
+	// Fault injection. The stuck value is propagated eagerly so the
+	// committed faulty rail is always the exact function closure of the
+	// current assignment set — the invariant the packed overlay relies on:
+	// a lazily-unpropagated site value would let the overlay wave (which
+	// evaluates every scheduled gate in all slots) derive faulty values in
+	// slots whose own events never scheduled those gates.
 	e.set(2, e.site, e.stuck)
+	e.schedule2(e.site)
+	e.wave()
 	for pi, v := range e.piConst {
 		e.assignInput(inputRef{isPI: true, idx: pi}, v)
 	}
@@ -61,6 +76,7 @@ func (e *engine) teardown() {
 	e.undoTo(0)
 	e.decs = e.decs[:0]
 	e.backtracks = 0
+	e.specOn = false
 }
 
 // excited reports whether the launch transition is fully justified: the
@@ -166,9 +182,33 @@ type need struct {
 	val logic.V
 }
 
-// propagationNeeds returns the side-input values that let a fault effect on
-// input pin propagate through a gate of the given kind.
+// needsTab precomputes computePropagationNeeds for every (kind, pin): the
+// D-frontier scan queries it once per frontier gate per objective pass, so
+// the old per-call slice building was a steady allocation source in the
+// search hot loop.
+var needsTab = func() [][][]need {
+	tab := make([][][]need, cell.NumKinds())
+	for k := range tab {
+		kind := cell.Kind(k)
+		tab[k] = make([][]need, kind.NumInputs())
+		for p := range tab[k] {
+			tab[k][p] = computePropagationNeeds(kind, p)
+		}
+	}
+	return tab
+}()
+
+// propagationNeeds returns the side-input values that let a fault effect
+// on input pin propagate through a gate of the given kind, served from the
+// precomputed table (the returned slice is shared: callers must not
+// mutate it).
 func propagationNeeds(k cell.Kind, pin int) []need {
+	return needsTab[k][pin]
+}
+
+// computePropagationNeeds derives the propagation requirement list for one
+// (kind, pin); it runs only at package init to fill needsTab.
+func computePropagationNeeds(k cell.Kind, pin int) []need {
 	others := func(v logic.V, n int) []need {
 		var out []need
 		for p := 0; p < n; p++ {
@@ -323,6 +363,7 @@ func (e *engine) valOf(fr int, n netlist.NetID) logic.V {
 
 // decide pushes a new decision and applies it.
 func (e *engine) decide(in inputRef, v logic.V) {
+	e.stats.decisions++
 	e.decs = append(e.decs, decision{input: in, val: v, trailMark: len(e.trail)})
 	e.assignInput(in, v)
 }
@@ -341,6 +382,7 @@ func (e *engine) backtrack() bool {
 		d.flipped = true
 		d.val = d.val.Not()
 		e.backtracks++
+		e.stats.backtracks++
 		e.assignInput(d.input, d.val)
 		return true
 	}
@@ -363,6 +405,17 @@ func (e *engine) generateWith(f *fault.Fault, base Cube) (Cube, engineResult) {
 		return Cube{}, genUntestable
 	}
 	e.applyBase(base)
+	if e.spec != nil {
+		return e.searchPacked()
+	}
+	return e.searchScalar()
+}
+
+// searchScalar is the classical one-implication-at-a-time PODEM loop. It
+// is retained verbatim as the cross-validation oracle for the packed
+// speculative search (see podem_packed.go): both must produce identical
+// cubes, verdicts and backtrack counts for every (fault, base) pair.
+func (e *engine) searchScalar() (Cube, engineResult) {
 	for {
 		if e.backtracks > e.limit {
 			return Cube{}, genAborted
@@ -386,7 +439,16 @@ func (e *engine) generateWith(f *fault.Fault, base Cube) (Cube, engineResult) {
 
 // applyBase pins earlier-cube assignments (deterministic order) without
 // putting them on the decision stack, so backtracking never undoes them.
+// The scalar oracle settles one implication wave per care bit, the
+// classical shape; the packed engine batches the whole cube into a single
+// wave (applyBaseBatch) — under dynamic compaction base bits dominate the
+// engine's wave count, so this is where most of its waves-per-cube
+// reduction comes from.
 func (e *engine) applyBase(base Cube) {
+	if e.spec != nil {
+		e.applyBaseBatch(base)
+		return
+	}
 	for _, idx := range sortedKeys(base.State) {
 		f := e.d.Flops[idx]
 		if e.val1[e.d.Insts[f].Out] == logic.X {
@@ -398,6 +460,40 @@ func (e *engine) applyBase(base Cube) {
 		if e.val1[n] == logic.X {
 			e.assignInput(inputRef{isPI: true, idx: idx}, base.PIs[idx])
 		}
+	}
+}
+
+// applyBaseBatch places every still-unassigned care bit of the base and
+// settles them in one implication wave. The result is the same fixpoint
+// the sequential oracle reaches: Kleene implication is monotone and
+// confluent, so the closure of a set of root assignments is independent
+// of application order and of whether a bit another bit already implies
+// is written as a root or derived by the wave. Base cubes are mutually
+// consistent by construction (they were jointly committed when earlier
+// targets accepted them) and the frame-1/frame-2 good rails carry no
+// fault-dependent state, so a bit can never arrive implied to the
+// opposite value. Iteration order is free to be the map's: each (rail,
+// net) pair is written at most once per batch, so trail restoration is
+// order-independent too.
+func (e *engine) applyBaseBatch(base Cube) {
+	placed := 0
+	for idx, v := range base.State {
+		f := e.d.Flops[idx]
+		if e.val1[e.d.Insts[f].Out] == logic.X {
+			e.place(inputRef{isPI: false, idx: idx}, v)
+			placed++
+		}
+	}
+	for idx, v := range base.PIs {
+		n := e.d.PIs[idx]
+		if e.val1[n] == logic.X {
+			e.place(inputRef{isPI: true, idx: idx}, v)
+			placed++
+		}
+	}
+	if placed > 0 {
+		e.stats.waves++
+		e.wave()
 	}
 }
 

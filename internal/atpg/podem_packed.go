@@ -1,0 +1,414 @@
+package atpg
+
+import (
+	"scap/internal/cell"
+	"scap/internal/logic"
+	"scap/internal/netlist"
+)
+
+// Packed speculative PODEM.
+//
+// The scalar engine pays one full two-frame implication wave per decision
+// and a second one per backtrack — discovering a conflict and undoing it
+// are separate round-trips. The packed core keeps the *committed* search
+// state scalar (val1/val2/valf plus the trail, exactly as before) and runs
+// speculation through a 64-slot dual-rail overlay: one wave evaluates up
+// to 64 alternative assignments at once via cell.EvalWord, a per-slot
+// conflict mask replaces repeated conflicted() scans, and the first
+// consistent slot is materialized onto the trail while dead slots become
+// immediate prunes that never touch the committed state.
+//
+// Speculation is the pair wave (see DESIGN.md §14): decideSpec implies a
+// decision's chosen value in slot 0 and the complement in slot 1 of the
+// same wave. A slot-0 conflict commits slot 1 directly — the backtrack
+// that scalar PODEM would pay a discovery wave plus a flip wave for
+// costs nothing extra. Backtracking itself stays scalar: the trail makes
+// a scalar undo free, so any multi-level speculative pricing of flips
+// would recompute by evaluation what the trail restores for nothing (a
+// cascade variant that did exactly that was measured at ~15x a scalar
+// wave per flip and removed). Pair waves are burst-gated (see specOn),
+// and the packed engine additionally batches base-cube application into
+// one wave per cube (applyBaseBatch in podem.go) — under dynamic
+// compaction that is the bulk of its waves-per-cube reduction.
+//
+// Equivalence with the scalar engine is exact, not approximate: the loop
+// in searchPacked replicates searchScalar's checkpoint order (limit,
+// success, objective, backtrack), conflicted slots can never satisfy the
+// success predicate (a conflict at the site excludes excitation), and the
+// overlay wave computes the same Kleene fixpoint as the scalar wave, so
+// committed states, decision stacks, backtrack counts and verdicts all
+// match cube-for-cube. The property tests in spec_test.go enforce this
+// against the retained scalar oracle.
+
+// specState is the packed overlay: per-net speculative words for frame 1,
+// frame-2 good and frame-2 faulty, touched flags plus lists for O(touched)
+// reset, and level buckets mirroring the scalar wave's scheduling.
+type specState struct {
+	ov1, ov2, ovf []logic.Word
+	t1, t2, tf    []bool
+	l1, l2, lf    []netlist.NetID
+	b1, b2        [][]netlist.InstID
+	q1, q2        []bool
+	maxLevel      int32
+}
+
+func newSpecState(d *netlist.Design, ml int32) *specState {
+	return &specState{
+		ov1: make([]logic.Word, d.NumNets()),
+		ov2: make([]logic.Word, d.NumNets()),
+		ovf: make([]logic.Word, d.NumNets()),
+		t1:  make([]bool, d.NumNets()),
+		t2:  make([]bool, d.NumNets()),
+		tf:  make([]bool, d.NumNets()),
+		b1:  make([][]netlist.InstID, ml+2),
+		b2:  make([][]netlist.InstID, ml+2),
+		q1:  make([]bool, d.NumInsts()),
+		q2:  make([]bool, d.NumInsts()),
+		maxLevel: ml,
+	}
+}
+
+// reset clears the overlay back to "every slot reads the committed scalar
+// value" in O(touched nets). Buckets and queued flags are already clean:
+// pwave always drains them fully.
+func (sp *specState) reset() {
+	for _, n := range sp.l1 {
+		sp.t1[n] = false
+	}
+	for _, n := range sp.l2 {
+		sp.t2[n] = false
+	}
+	for _, n := range sp.lf {
+		sp.tf[n] = false
+	}
+	sp.l1, sp.l2, sp.lf = sp.l1[:0], sp.l2[:0], sp.lf[:0]
+}
+
+// --- overlay reads and writes -------------------------------------------
+//
+// Read rule: a net not touched by the overlay holds its committed scalar
+// value in every slot. Writes record the touched net once for reset.
+
+func (e *engine) r1(n netlist.NetID) logic.Word {
+	if e.spec.t1[n] {
+		return e.spec.ov1[n]
+	}
+	return logic.Splat(e.val1[n])
+}
+
+func (e *engine) r2(n netlist.NetID) logic.Word {
+	if e.spec.t2[n] {
+		return e.spec.ov2[n]
+	}
+	return logic.Splat(e.val2[n])
+}
+
+func (e *engine) rf(n netlist.NetID) logic.Word {
+	if e.spec.tf[n] {
+		return e.spec.ovf[n]
+	}
+	return logic.Splat(e.valf[n])
+}
+
+func (e *engine) pset1(n netlist.NetID, w logic.Word) {
+	sp := e.spec
+	if !sp.t1[n] {
+		sp.t1[n] = true
+		sp.l1 = append(sp.l1, n)
+	}
+	sp.ov1[n] = w
+}
+
+func (e *engine) pset2(n netlist.NetID, w logic.Word) {
+	sp := e.spec
+	if !sp.t2[n] {
+		sp.t2[n] = true
+		sp.l2 = append(sp.l2, n)
+	}
+	sp.ov2[n] = w
+}
+
+func (e *engine) psetf(n netlist.NetID, w logic.Word) {
+	sp := e.spec
+	if !sp.tf[n] {
+		sp.tf[n] = true
+		sp.lf = append(sp.lf, n)
+	}
+	sp.ovf[n] = w
+}
+
+// --- packed scheduling, mirroring schedule1/schedule2/set2both ----------
+
+func (e *engine) pschedule1(n netlist.NetID) {
+	sp := e.spec
+	for _, ld := range e.d.Nets[n].Loads {
+		inst := &e.d.Insts[ld.Inst]
+		if inst.IsFlop() || sp.q1[ld.Inst] {
+			continue
+		}
+		sp.q1[ld.Inst] = true
+		sp.b1[e.levels[ld.Inst]] = append(sp.b1[e.levels[ld.Inst]], ld.Inst)
+	}
+	// Frame boundary: flops fed from this net launch its value in frame 2.
+	if flops, ok := e.xfer[n]; ok {
+		w := e.r1(n)
+		for _, f := range flops {
+			e.pset2both(e.d.Insts[f].Out, w)
+		}
+	}
+}
+
+func (e *engine) pschedule2(n netlist.NetID) {
+	sp := e.spec
+	for _, ld := range e.d.Nets[n].Loads {
+		inst := &e.d.Insts[ld.Inst]
+		if inst.IsFlop() || sp.q2[ld.Inst] {
+			continue
+		}
+		sp.q2[ld.Inst] = true
+		sp.b2[e.levels[ld.Inst]] = append(sp.b2[e.levels[ld.Inst]], ld.Inst)
+	}
+}
+
+// pset2both is the packed set2both: frame-2 good and (except at the fault
+// site) faulty take the same word. The good-value early-out is sound for
+// the same reason as the scalar one — both writers of flop-out frame-2
+// values keep good == faulty per slot away from the site.
+func (e *engine) pset2both(n netlist.NetID, w logic.Word) {
+	if e.r2(n) == w {
+		return
+	}
+	e.pset2(n, w)
+	if n != e.site {
+		e.psetf(n, w)
+	}
+	e.pschedule2(n)
+}
+
+// pwave drains the packed buckets exactly like engine.wave drains the
+// scalar ones: frame 1 in level order (feeding frame 2 through the
+// boundary), then frame 2 good+faulty with a re-drain loop for
+// good/faulty scheduling interleave. Kleene logic on words is monotone
+// slot-wise, so the wave settles to the same fixpoint the scalar wave
+// would reach independently in every slot.
+func (e *engine) pwave() {
+	sp := e.spec
+	e.stats.waves++
+	e.stats.specWaves++
+	var buf [4]logic.Word
+	for lv := int32(1); lv <= sp.maxLevel; lv++ {
+		bucket := sp.b1[lv]
+		sp.b1[lv] = bucket[:0]
+		for _, g := range bucket {
+			sp.q1[g] = false
+			inst := &e.d.Insts[g]
+			in := buf[:len(inst.In)]
+			for p, n := range inst.In {
+				in[p] = e.r1(n)
+			}
+			w := cell.EvalWord(inst.Kind, in)
+			if w != e.r1(inst.Out) {
+				e.pset1(inst.Out, w)
+				e.pschedule1(inst.Out)
+			}
+		}
+	}
+	var bufF [4]logic.Word
+	for e.pdirty2() {
+		for lv := int32(1); lv <= sp.maxLevel; lv++ {
+			bucket := sp.b2[lv]
+			sp.b2[lv] = bucket[:0]
+			for _, g := range bucket {
+				sp.q2[g] = false
+				inst := &e.d.Insts[g]
+				in := buf[:len(inst.In)]
+				inF := bufF[:len(inst.In)]
+				for p, n := range inst.In {
+					in[p] = e.r2(n)
+					inF[p] = e.rf(n)
+				}
+				wG := cell.EvalWord(inst.Kind, in)
+				wF := cell.EvalWord(inst.Kind, inF)
+				if wG != e.r2(inst.Out) {
+					e.pset2(inst.Out, wG)
+					e.pschedule2(inst.Out)
+				}
+				if inst.Out != e.site && wF != e.rf(inst.Out) {
+					e.psetf(inst.Out, wF)
+					e.pschedule2(inst.Out)
+				}
+			}
+		}
+	}
+}
+
+func (e *engine) pdirty2() bool {
+	for lv := int32(1); lv <= e.spec.maxLevel; lv++ {
+		if len(e.spec.b2[lv]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictMask is the packed conflicted(): the slots whose speculative
+// values contradict the fault's activation requirements (frame-1 site must
+// stay X-or-stuck, frame-2 good site X-or-complement).
+func (e *engine) conflictMask() uint64 {
+	w1, w2 := e.r1(e.site), e.r2(e.site)
+	if e.stuck == logic.Zero {
+		return w1.One | w2.Zero
+	}
+	return w1.Zero | w2.One
+}
+
+// seedInput writes a decision-input word into the overlay the way
+// assignInput writes a scalar value: frame 1 plus frame 2 directly for
+// PIs (held across both frames) and hold flops; dom-flop frame-2 values
+// follow through the transfer map inside pschedule1.
+func (e *engine) seedInput(in inputRef, w logic.Word) {
+	if in.isPI {
+		n := e.d.PIs[in.idx]
+		e.pset1(n, w)
+		e.pschedule1(n)
+		e.pset2both(n, w)
+	} else {
+		f := e.d.Flops[in.idx]
+		q := e.d.Insts[f].Out
+		e.pset1(q, w)
+		e.pschedule1(q)
+		if e.hold[f] {
+			e.pset2both(q, w)
+		}
+	}
+}
+
+// commitSlot materializes speculative slot s onto the committed scalar
+// state through the trail, so undoTo unwinds it like any scalar wave.
+// Every net whose committed value must change was touched by the overlay
+// (the wave's cone covers the difference), and e.set skips nets whose
+// slot-s value already matches.
+func (e *engine) commitSlot(s uint) {
+	sp := e.spec
+	for _, n := range sp.l1 {
+		e.set(0, n, sp.ov1[n].Get(s))
+	}
+	for _, n := range sp.l2 {
+		e.set(1, n, sp.ov2[n].Get(s))
+	}
+	for _, n := range sp.lf {
+		e.set(2, n, sp.ovf[n].Get(s))
+	}
+	e.stats.slotsCommit++
+}
+
+// specHardMin is the per-fault backtrack count that marks a fault as
+// conflict-dense: pair speculation only arms on faults past it. Decisions
+// of easy faults conflict too rarely for a double-cone pair wave to repay
+// itself; the hard tail (deep search thrash up to the abort limit) is
+// where flips cluster and the pre-priced complement slot wins.
+const specHardMin = 16
+
+// specOutcome is what a packed decision/backtrack step tells the search
+// loop to do next.
+type specOutcome uint8
+
+const (
+	specContinue  specOutcome = iota // committed a consistent state; resume
+	specAbort                        // backtrack limit exceeded
+	specExhausted                    // decision space exhausted: untestable
+)
+
+// decideSpec is the packed decide(): imply v (slot 0) and its complement
+// (slot 1) in one wave, then commit the first consistent slot. Speculation
+// is burst-gated: conflicts cluster in the decisions right after a
+// backtrack, so specOn turns on at every conflict event and back off at
+// the first clean slot-0 commit. A pair wave propagates both value cones,
+// so paying it on a decision that commits cleanly is pure overhead — the
+// gate keeps pair waves inside conflict-dense stretches, where the dead
+// slot repays the wave by replacing scalar's discovery-plus-flip round
+// trip. The outcome is identical whichever path a decision takes.
+func (e *engine) decideSpec(in inputRef, v logic.V) specOutcome {
+	if !e.specOn {
+		e.decide(in, v)
+		return specContinue
+	}
+	mark := len(e.trail)
+	e.seedInput(in, logic.Splat(v).Set(1, v.Not()))
+	e.pwave()
+	conf := e.conflictMask()
+	if conf&1 == 0 {
+		e.stats.decisions++
+		e.decs = append(e.decs, decision{input: in, val: v, trailMark: mark})
+		e.commitSlot(0)
+		e.spec.reset()
+		e.specOn = false
+		return specContinue
+	}
+	// Slot 0 is dead: scalar PODEM would assign v, wave, find the
+	// conflict, undo, flip and wave again. Both outcomes are already in
+	// hand — the flip either commits from slot 1 or the whole decision
+	// cancels out and the search backtracks into earlier decisions.
+	e.stats.slotsPrune++
+	e.backtracks++
+	e.stats.backtracks++
+	e.stats.avoided++
+	if conf&2 == 0 {
+		e.stats.decisions++
+		e.decs = append(e.decs, decision{input: in, val: v.Not(), flipped: true, trailMark: mark})
+		e.commitSlot(1)
+		e.spec.reset()
+		return specContinue
+	}
+	e.stats.slotsPrune++
+	e.spec.reset()
+	// Both values conflict: scalar would push v, flip to the complement,
+	// conflict again and pop — net effect, the stack is unchanged and the
+	// flip consumed one backtrack. Check the limit exactly where the
+	// scalar loop top would, then continue backtracking the scalar way.
+	if e.backtracks > e.limit {
+		return specAbort
+	}
+	if !e.backtrack() {
+		return specExhausted
+	}
+	return specContinue
+}
+
+// searchPacked is the packed counterpart of searchScalar: same checkpoint
+// order (limit, success, objective), with decide and backtrack replaced by
+// their speculative forms.
+func (e *engine) searchPacked() (Cube, engineResult) {
+	for {
+		if e.backtracks > e.limit {
+			return Cube{}, genAborted
+		}
+		if e.excited() && e.observed() {
+			return e.cube(), genSuccess
+		}
+		obj, ok := e.getObjective()
+		if ok {
+			in, v, found := e.backtrace(obj)
+			if found {
+				switch e.decideSpec(in, v) {
+				case specAbort:
+					return Cube{}, genAborted
+				case specExhausted:
+					return Cube{}, genUntestable
+				}
+				continue
+			}
+		}
+		// No objective or dead backtrace: the search backtracks. Decisions
+		// right after a backtrack are the conflict-dense stretch where a
+		// pair wave can repay its double cone — but only on faults already
+		// proven hard: an easy fault's occasional conflict is cheaper to
+		// rediscover scalar-style than to pre-price every decision for.
+		if e.backtracks >= specHardMin {
+			e.specOn = true
+		}
+		if !e.backtrack() {
+			return Cube{}, genUntestable
+		}
+	}
+}

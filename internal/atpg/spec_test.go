@@ -1,0 +1,190 @@
+package atpg
+
+import (
+	"fmt"
+	"testing"
+
+	"scap/internal/fault"
+	"scap/internal/netlist"
+)
+
+// cubeEqual reports whether two cubes specify exactly the same care bits.
+func cubeEqual(a, b Cube) bool {
+	if len(a.State) != len(b.State) || len(a.PIs) != len(b.PIs) {
+		return false
+	}
+	for k, v := range a.State {
+		if b.State[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.PIs {
+		if b.PIs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func cubeString(c Cube) string {
+	return fmt.Sprintf("state=%v pis=%v", c.State, c.PIs)
+}
+
+// TestPackedEngineMatchesScalarPerFault is the tentpole's oracle check:
+// for every fault of the domain, the packed speculative engine must
+// return exactly the cube and disposition of the scalar engine — the
+// speculation is a search-order-preserving optimization, never a
+// heuristic. Exercised for both launch modes and with accumulated bases
+// (generateWith), which is how dynamic compaction calls the engine.
+func TestPackedEngineMatchesScalarPerFault(t *testing.T) {
+	for _, scale := range []int{96, 64} {
+		for _, mode := range []LaunchMode{LOC, LOS} {
+			t.Run(fmt.Sprintf("scale%d_%v", scale, mode), func(t *testing.T) {
+				r := newRig(t, scale)
+				cfg := engineConfig{dom: 0, mode: mode, limit: 64}
+				if mode == LOS {
+					cfg.shiftPrev = shiftPrevMap(t, r)
+				}
+				es, err := newEngine(r.d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfgP := cfg
+				cfgP.packed = true
+				ep, err := newEngine(r.d, cfgP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subset := r.l.InDomain(0)
+				var base Cube
+				haveBase := false
+				mismatch := 0
+				for _, fi := range subset {
+					f := &r.l.Faults[fi]
+					var cs, cp Cube
+					var ds, dp engineResult
+					if haveBase {
+						cs, ds = es.generateWith(f, base)
+						cp, dp = ep.generateWith(f, base)
+					} else {
+						cs, ds = es.generate(f)
+						cp, dp = ep.generate(f)
+					}
+					if ds != dp {
+						t.Errorf("fault %d (net %d %v): scalar disp %d, packed disp %d",
+							fi, f.Net, f.Type, ds, dp)
+						mismatch++
+					} else if ds == genSuccess && !cubeEqual(cs, cp) {
+						t.Errorf("fault %d (net %d %v): cube mismatch\n  scalar: %s\n  packed: %s",
+							fi, f.Net, f.Type, cubeString(cs), cubeString(cp))
+						mismatch++
+					}
+					if mismatch > 5 {
+						t.Fatalf("too many mismatches, stopping")
+					}
+					// Every few successes, accumulate a base cube so the
+					// generateWith path (compaction) is exercised too.
+					if ds == genSuccess {
+						if !haveBase || len(base.State) > 40 {
+							base, haveBase = cs, true
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// shiftPrevMap reproduces the LOS frame-1 source map the runner builds.
+func shiftPrevMap(t *testing.T, r *rig) map[netlist.InstID]netlist.NetID {
+	t.Helper()
+	return shiftSources(r.d, r.sc)
+}
+
+// TestRunPackedMatchesScalarEngine checks the whole Run pipeline — epoch
+// selection, dynamic compaction, fill and fault dropping — produces a
+// bit-identical pattern set and fault disposition whichever implication
+// core is underneath.
+func TestRunPackedMatchesScalarEngine(t *testing.T) {
+	rp := newRig(t, 96)
+	rs := newRig(t, 96)
+	resP, err := Run(rp.fs, rp.l, rp.sc, Options{Dom: 0, Fill: FillRandom, Seed: 3, Engine: EnginePacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := Run(rs.fs, rs.l, rs.sc, Options{Dom: 0, Fill: FillRandom, Seed: 3, Engine: EngineScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePatternSets(t, resS, resP, rs.l, rp.l)
+}
+
+// TestRunShardedBitIdentical checks the epoch-sharded generator yields the
+// same patterns, statuses and detection attribution for 1, 2 and 8
+// workers. Run with -race this also exercises the parallel section for
+// data races.
+func TestRunShardedBitIdentical(t *testing.T) {
+	var ref *Result
+	var refL *fault.List
+	for _, w := range []int{1, 2, 8} {
+		r := newRig(t, 96)
+		res, err := Run(r.fs, r.l, r.sc, Options{
+			Dom: 0, Fill: FillRandom, Seed: 5, GenWorkers: w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refL = res, r.l
+			continue
+		}
+		t.Run(fmt.Sprintf("workers%d", w), func(t *testing.T) {
+			comparePatternSets(t, ref, res, refL, r.l)
+			if res.Gen != ref.Gen {
+				t.Errorf("generation stats differ: w=1 %+v, w=%d %+v", ref.Gen, w, res.Gen)
+			}
+		})
+	}
+}
+
+func comparePatternSets(t *testing.T, a, b *Result, la, lb *fault.List) {
+	t.Helper()
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("pattern count differs: %d vs %d", len(a.Patterns), len(b.Patterns))
+	}
+	for i := range a.Patterns {
+		pa, pb := &a.Patterns[i], &b.Patterns[i]
+		if pa.Target != pb.Target {
+			t.Fatalf("pattern %d target differs: %d vs %d", i, pa.Target, pb.Target)
+		}
+		if len(pa.Secondaries) != len(pb.Secondaries) {
+			t.Fatalf("pattern %d secondary count differs: %v vs %v", i, pa.Secondaries, pb.Secondaries)
+		}
+		for j := range pa.Secondaries {
+			if pa.Secondaries[j] != pb.Secondaries[j] {
+				t.Fatalf("pattern %d secondaries differ: %v vs %v", i, pa.Secondaries, pb.Secondaries)
+			}
+		}
+		for j := range pa.V1 {
+			if pa.V1[j] != pb.V1[j] {
+				t.Fatalf("pattern %d V1[%d] differs: %v vs %v", i, j, pa.V1[j], pb.V1[j])
+			}
+		}
+		for j := range pa.PIs {
+			if pa.PIs[j] != pb.PIs[j] {
+				t.Fatalf("pattern %d PI[%d] differs: %v vs %v", i, j, pa.PIs[j], pb.PIs[j])
+			}
+		}
+	}
+	if len(la.Status) != len(lb.Status) {
+		t.Fatalf("status length differs")
+	}
+	for i := range la.Status {
+		if la.Status[i] != lb.Status[i] {
+			t.Fatalf("fault %d status differs: %v vs %v", i, la.Status[i], lb.Status[i])
+		}
+		if la.DetectedBy[i] != lb.DetectedBy[i] {
+			t.Fatalf("fault %d DetectedBy differs: %d vs %d", i, la.DetectedBy[i], lb.DetectedBy[i])
+		}
+	}
+}

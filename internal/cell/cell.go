@@ -66,6 +66,11 @@ var kindInputs = [...]int{
 	DFF: 1, SDFF: 3,
 }
 
+// NumKinds returns the number of defined cell kinds. Table-driven
+// consumers (e.g. the ATPG propagation-needs table) size their per-kind
+// arrays with it instead of hard-coding the library.
+func NumKinds() int { return int(numKinds) }
+
 // String returns the library name of the kind, e.g. "NAND2".
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -268,12 +268,15 @@ func (sys *System) LaunchStateInto(ls *sim.LaunchScratch, v2, capBuf []logic.V, 
 func (sys *System) NewFaultList() *fault.List { return fault.Universe(sys.D) }
 
 // ATPG runs one ATPG invocation against the given fault list. The fault
-// simulator inherits sys.Workers, so the fault-dropping sweeps inside the
-// run fan out across the worker pool (results are identical for any
-// worker count).
+// simulator and the epoch-sharded generator both inherit sys.Workers, so
+// fault-dropping sweeps and test generation fan out across the worker
+// pool (results are identical for any worker count).
 func (sys *System) ATPG(l *fault.List, opts atpg.Options) (*atpg.Result, error) {
 	if opts.BacktrackLimit == 0 {
 		opts.BacktrackLimit = sys.Cfg.BacktrackLimit
+	}
+	if opts.GenWorkers == 0 {
+		opts.GenWorkers = sys.Workers
 	}
 	sys.FSim.Workers = sys.Workers
 	return atpg.Run(sys.FSim, l, sys.SC, opts)

@@ -228,6 +228,25 @@ func ValidMask(n int) uint64 {
 	return uint64(1)<<uint(n) - 1
 }
 
+// ClearSlots returns w with every masked slot forced to X. The packed
+// PODEM engine uses it to erase undone decisions from a speculative slot
+// while the other slots keep their committed values.
+func (w Word) ClearSlots(mask uint64) Word {
+	return Word{Zero: w.Zero &^ mask, One: w.One &^ mask}
+}
+
+// SetSlots returns w with every masked slot forced to the scalar v.
+func (w Word) SetSlots(mask uint64, v V) Word {
+	w = w.ClearSlots(mask)
+	switch v {
+	case Zero:
+		w.Zero |= mask
+	case One:
+		w.One |= mask
+	}
+	return w
+}
+
 // Select returns a Word that takes slots from a where mask bits are 0 and
 // from b where mask bits are 1.
 func Select(mask uint64, a, b Word) Word {

@@ -288,3 +288,41 @@ func TestValidMask(t *testing.T) {
 		}
 	}
 }
+
+func TestClearSlots(t *testing.T) {
+	w := Splat(One).Set(3, Zero).Set(7, X)
+	got := w.ClearSlots(1<<0 | 1<<3 | 1<<9)
+	for i := uint(0); i < 64; i++ {
+		want := w.Get(i)
+		if i == 0 || i == 3 || i == 9 {
+			want = X
+		}
+		if got.Get(i) != want {
+			t.Fatalf("slot %d: got %v want %v", i, got.Get(i), want)
+		}
+	}
+	if !got.WellFormed() {
+		t.Fatal("ClearSlots produced an ill-formed word")
+	}
+}
+
+func TestSetSlots(t *testing.T) {
+	for _, v := range []V{Zero, One, X} {
+		w := Splat(Zero).Set(5, One).SetSlots(1<<2|1<<5|1<<63, v)
+		for i := uint(0); i < 64; i++ {
+			want := Zero
+			if i == 5 {
+				want = One
+			}
+			if i == 2 || i == 5 || i == 63 {
+				want = v
+			}
+			if w.Get(i) != want {
+				t.Fatalf("v=%v slot %d: got %v want %v", v, i, w.Get(i), want)
+			}
+		}
+		if !w.WellFormed() {
+			t.Fatalf("SetSlots(%v) produced an ill-formed word", v)
+		}
+	}
+}
