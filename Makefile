@@ -1,6 +1,11 @@
 # Convenience targets for the scap reproduction.
 
-.PHONY: test test-race bench bench-json check repro flow report cover fmt vet
+.PHONY: test test-race bench bench-json bench-diff check repro flow report cover fmt vet
+
+# Where bench-json writes its BENCH_*.json files. The default overwrites
+# the committed baselines in the repo root; bench-diff points it at a
+# scratch directory so a fresh run can be compared against the baselines.
+BENCH_DIR ?= .
 
 test:
 	go test ./...
@@ -24,10 +29,23 @@ bench:
 # (-benchtime 1x) and lands in the same BENCH_pgrid.json.
 bench-json:
 	{ go test -run '^$$' -bench 'Solve|Factor|Pgrid|IRDrop|ProfilePatterns' -benchmem . && \
-	  go test -run '^$$' -bench 'GridScale' -benchtime 1x -benchmem . ; } | go run ./cmd/benchjson -o BENCH_pgrid.json
-	go test -run '^$$' -bench 'Launch|TimingSimulation' -benchmem . | go run ./cmd/benchjson -o BENCH_sim.json
-	go test -run '^$$' -bench '^BenchmarkDrop$$|DetectionCounts|GradeFaultSim|GradeDetections|ScreenPatterns|ProfilePatternsSerial' -benchmem . | go run ./cmd/benchjson -o BENCH_faultsim.json
-	go test -run '^$$' -bench 'ATPGGenerate' -benchmem . | go run ./cmd/benchjson -o BENCH_atpg.json
+	  go test -run '^$$' -bench 'GridScale' -benchtime 1x -benchmem . ; } | go run ./cmd/benchjson -o $(BENCH_DIR)/BENCH_pgrid.json
+	go test -run '^$$' -bench 'Launch|TimingSimulation' -benchmem . | go run ./cmd/benchjson -o $(BENCH_DIR)/BENCH_sim.json
+	go test -run '^$$' -bench '^BenchmarkDrop$$|DetectionCounts|GradeFaultSim|GradeDetections|ScreenPatterns|ProfilePatternsSerial' -benchmem . | go run ./cmd/benchjson -o $(BENCH_DIR)/BENCH_faultsim.json
+	go test -run '^$$' -bench 'ATPGGenerate' -benchmem . | go run ./cmd/benchjson -o $(BENCH_DIR)/BENCH_atpg.json
+
+# Perf-regression gate: re-run the bench-json pipelines into a scratch
+# directory and diff every file against the committed baseline with
+# cmd/benchdiff. Tolerances are deliberately generous (CI runners and
+# single-CPU baselines are noisy); the gate exists to catch order-of-2x
+# regressions, not percent-level drift. Fails the build on regression.
+bench-diff:
+	mkdir -p .benchfresh
+	$(MAKE) bench-json BENCH_DIR=.benchfresh
+	for f in BENCH_pgrid BENCH_sim BENCH_faultsim BENCH_atpg; do \
+	  go run ./cmd/benchdiff -base $$f.json -fresh .benchfresh/$$f.json \
+	    -tol-ns 4 -tol-mem 2 -tol-extra 2.5 || exit 1; \
+	done
 
 # CI-style tier-1 verify in one command.
 check:

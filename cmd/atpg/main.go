@@ -7,6 +7,7 @@
 //
 //	atpg [-scale N] [-flow conventional|new|single] [-dom D] [-fill random|fill0|fill1|adjacent]
 //	     [-mode LOC|LOS] [-max M] [-workers W] [-engine packed|scalar]
+//	     [-report F.json] [-metrics-addr :6060] [-trace F.json] [-snapshot-interval D]
 //
 // -workers shards test generation (and the fault-dropping sweeps) across
 // the worker pool; the pattern set is bit-identical for every worker
@@ -23,6 +24,7 @@ import (
 	"scap/internal/atpg"
 	"scap/internal/core"
 	"scap/internal/fault"
+	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/pattern"
 	"scap/internal/soc"
@@ -38,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "generation + fault-sim workers (0 = all cores, 1 = serial)")
 	engineName := flag.String("engine", "packed", "PODEM implication core for -flow single: packed | scalar")
 	outPath := flag.String("o", "", "write the generated pattern set to this file")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
 	fill, ok := map[string]atpg.Fill{
@@ -67,6 +70,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := obsFlags.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+
 	t0 := time.Now()
 	cfg := core.DefaultConfig(*scale)
 	cfg.Workers = *workers
@@ -74,6 +82,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
 		os.Exit(1)
+	}
+	finishObs := func() {
+		if err := obsFlags.Finish(os.Stdout, "atpg", sys.Cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "atpg:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("built %d-instance design in %v\n", sys.D.NumInsts(), time.Since(t0).Round(time.Millisecond))
 
@@ -101,6 +115,7 @@ func main() {
 				c.Total, c.Detected, c.Aborted, c.Untestable)
 			fmt.Printf("  test coverage %.2f%%, fault coverage %.2f%%\n",
 				100*c.TestCoverage(), 100*c.FaultCoverage())
+			finishObs()
 			return
 		}
 	default:
@@ -159,6 +174,7 @@ func main() {
 		cc := fr.Faults.CountOf(sub)
 		fmt.Printf("    %s: %d/%d\n", soc.BlockName(b), cc.Detected, cc.Total)
 	}
+	finishObs()
 }
 
 func intersect(l *fault.List, subset []int, block int) []int {

@@ -8,6 +8,7 @@
 //
 //	flow [-scale N] [-out dir] [-workers W] [-solver factored|sparse|sor] [-screen F]
 //	     [-cpuprofile F] [-memprofile F] [-report F.json] [-metrics-addr :6060]
+//	     [-trace F.json] [-trace-sample N] [-snapshot-interval D]
 //
 // With -screen F (0 < F <= 1) the packed zero-delay pre-screen ranks each
 // pattern set by estimated B5 switching and the exact event-driven
@@ -41,8 +42,7 @@ func main() {
 	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at flow end to this file")
-	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
 	die(parallel.ValidateWorkers(*workers))
@@ -52,7 +52,7 @@ func main() {
 	}
 	solver, err := core.ParseSolver(*solverName)
 	die(err)
-	die(obs.SetupCLI(*report, *metricsAddr))
+	die(obsFlags.Setup())
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		die(err)
@@ -155,7 +155,7 @@ func main() {
 		die(f.Close())
 		fmt.Printf("  wrote %s\n", *memprofile)
 	}
-	die(obs.FinishCLI(os.Stdout, "flow", *report, sys.Cfg))
+	die(obsFlags.Finish(os.Stdout, "flow", sys.Cfg))
 	fmt.Printf("flow complete in %v\n", time.Since(t0).Round(time.Millisecond))
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	irdrop [-scale N] [-dynamic] [-all] [-mc T] [-pattern P] [-model CAP|SCAP] [-map] [-workers W] [-solver factored|sparse|sor]
-//	       [-report F.json] [-metrics-addr :6060]
+//	       [-report F.json] [-metrics-addr :6060] [-trace F.json] [-snapshot-interval D]
 package main
 
 import (
@@ -33,12 +33,11 @@ func main() {
 	doFTAS := flag.Bool("ftas", false, "run the faster-than-at-speed overkill sweep")
 	workers := flag.Int("workers", 0, "analysis workers (0 = all cores, 1 = serial)")
 	solverName := flag.String("solver", "factored", core.SolverFlagUsage)
-	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
 	die(parallel.ValidateWorkers(*workers))
-	die(obs.SetupCLI(*report, *metricsAddr))
+	die(obsFlags.Setup())
 
 	model := core.ModelSCAP
 	if *modelName == "CAP" {
@@ -61,7 +60,7 @@ func main() {
 	die(err)
 	// irdrop returns early from several analysis tiers; the deferred finish
 	// emits the report/summary on every successful path.
-	defer func() { die(obs.FinishCLI(os.Stdout, "irdrop", *report, sys.Cfg)) }()
+	defer func() { die(obsFlags.Finish(os.Stdout, "irdrop", sys.Cfg)) }()
 	stat, err := sys.Statistical()
 	die(err)
 	fmt.Printf("statistical vector-less analysis (%v):\n", time.Since(t0).Round(time.Millisecond))

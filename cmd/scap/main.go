@@ -7,6 +7,7 @@
 //
 //	scap [-scale N] [-flow conventional|new] [-block B5] [-top K] [-plot] [-workers W]
 //	     [-solver factored|sparse|sor] [-screen F] [-report F.json] [-metrics-addr :6060]
+//	     [-trace F.json] [-trace-sample N] [-snapshot-interval D]
 //
 // With -screen F (0 < F <= 1) the packed zero-delay pre-screen ranks all
 // patterns by estimated switching in the profiled block first, and the
@@ -40,8 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "pattern-profiling workers (0 = all cores, 1 = serial)")
 	solverName := flag.String("solver", "factored", core.SolverFlagUsage)
 	screen := flag.Float64("screen", 0, "packed zero-delay pre-screen: exactly profile only this top fraction of patterns (0 disables)")
-	report := flag.String("report", "", "write the machine-readable JSON run report to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve expvar + /debug/pprof on this address (e.g. :6060)")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
 	die(parallel.ValidateWorkers(*workers))
@@ -54,7 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scap:", err)
 		os.Exit(2)
 	}
-	die(obs.SetupCLI(*report, *metricsAddr))
+	die(obsFlags.Setup())
 
 	block := -1
 	for b := 0; b < soc.NumBlocks; b++ {
@@ -147,7 +147,7 @@ func main() {
 				hot, w.PeakMW(), rep.Chip().CAPVdd+rep.Chip().CAPVss,
 				rep.Chip().SCAPVdd+rep.Chip().SCAPVss), "mW"))
 	}
-	die(obs.FinishCLI(os.Stdout, "scap", *report, sys.Cfg))
+	die(obsFlags.Finish(os.Stdout, "scap", sys.Cfg))
 }
 
 func die(err error) {

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	timing [-scale N] [-dom D] [-k K]
+//	timing [-scale N] [-dom D] [-k K] [-workers W]
+//	       [-report F.json] [-metrics-addr :6060] [-trace F.json] [-snapshot-interval D]
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"os"
 
 	"scap/internal/core"
+	"scap/internal/obs"
+	"scap/internal/parallel"
 	"scap/internal/soc"
 	"scap/internal/sta"
 )
@@ -22,10 +25,18 @@ func main() {
 	scale := flag.Int("scale", 8, "design scale divisor")
 	dom := flag.Int("dom", 0, "clock domain to analyze")
 	k := flag.Int("k", 5, "worst paths to report")
+	workers := flag.Int("workers", 0, "analysis workers (0 = all cores, 1 = serial)")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
-	sys, err := core.Build(core.DefaultConfig(*scale))
+	die(parallel.ValidateWorkers(*workers))
+	die(obsFlags.Setup())
+
+	cfg := core.DefaultConfig(*scale)
+	cfg.Workers = *workers
+	sys, err := core.Build(cfg)
 	die(err)
+	defer func() { die(obsFlags.Finish(os.Stdout, "timing", sys.Cfg)) }()
 	d := sys.D
 	if *dom < 0 || *dom >= len(d.Domains) {
 		fmt.Fprintf(os.Stderr, "timing: domain %d out of range\n", *dom)

@@ -31,6 +31,14 @@ var (
 	cBTAvoided     = obs.NewCounter("atpg.backtracks_avoided")
 )
 
+// tkFaults is the per-fault attribution table: the faults whose PODEM
+// search (generation + this lane's compaction attempts) burned the most
+// implication waves. Cost and fields are engine-work deltas, which are
+// deterministic per (fault, status snapshot) — so the table is
+// bit-identical for any GenWorkers value. Recorded in the serial merge.
+var tkFaults = obs.NewTopK("atpg.fault_hotspots", 16, "waves",
+	"backtracks", "decisions", "spec_waves", "secondaries", "pattern")
+
 func init() {
 	obs.RegisterDerived("atpg.waves_per_pattern", func(c map[string]int64) (float64, bool) {
 		if c["atpg.patterns"] <= 0 {
@@ -309,15 +317,27 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 		for i := range outs {
 			po := &outs[i]
 			fi := subset[prim[i]]
+			recordFault := func(outcome string, patIdx int) {
+				tkFaults.Record(int64(fi), po.stats.waves, outcome,
+					float64(po.stats.backtracks), float64(po.stats.decisions),
+					float64(po.stats.specWaves), float64(len(po.secondaries)),
+					float64(patIdx))
+			}
 			if l.Status[fi] != fault.Undetected {
+				// Generated, then detected as an earlier primary's
+				// secondary within this same merge — the work is recorded
+				// as collateral.
+				recordFault("collateral", -1)
 				continue
 			}
 			switch po.disp {
 			case genAborted:
 				l.Status[fi] = fault.Aborted
+				recordFault("aborted", -1)
 				continue
 			case genUntestable:
 				l.Status[fi] = fault.Untestable
+				recordFault("untestable", -1)
 				continue
 			}
 			// Lanes are disjoint, so secondaries are distinct across the
@@ -337,6 +357,7 @@ func Run(fs *faultsim.Sim, l *fault.List, sc *scan.Scan, opts Options) (*Result,
 				fillBusy += time.Since(fillT0).Nanoseconds()
 			}
 			patIdx := opts.PatternBase + len(res.Patterns)
+			recordFault("detected", patIdx)
 			res.Patterns = append(res.Patterns, Pattern{
 				V1: v1, PIs: pis, Target: fi, Secondaries: kept,
 			})
@@ -395,6 +416,10 @@ type genOut struct {
 	cube        Cube
 	disp        engineResult
 	secondaries []int
+	// stats is the engine-work delta this primary cost (generation plus
+	// its lane's compaction attempts) — per-fault attribution for the
+	// hotspot table.
+	stats genStats
 }
 
 // genOne generates the pattern cube for one epoch primary and dynamically
@@ -405,9 +430,11 @@ type genOut struct {
 // worker running it.
 func genOne(eng *engine, l *fault.List, subset []int, pos, lane, nLanes, scanBase, maxSec, careBudget int) genOut {
 	fi := subset[pos]
+	before := eng.stats
 	cube, disp := eng.generate(&l.Faults[fi])
 	out := genOut{cube: cube, disp: disp}
 	if disp != genSuccess || maxSec <= 0 {
+		out.stats = statsDelta(eng.stats, before)
 		return out
 	}
 	// Dynamic compaction over this lane's stride of the undetected tail,
@@ -435,7 +462,21 @@ func genOne(eng *engine, l *fault.List, subset []int, pos, lane, nLanes, scanBas
 		}
 		out.secondaries = append(out.secondaries, fj)
 	}
+	out.stats = statsDelta(eng.stats, before)
 	return out
+}
+
+// statsDelta subtracts two engine-stat snapshots field-wise.
+func statsDelta(after, before genStats) genStats {
+	return genStats{
+		waves:       after.waves - before.waves,
+		specWaves:   after.specWaves - before.specWaves,
+		decisions:   after.decisions - before.decisions,
+		backtracks:  after.backtracks - before.backtracks,
+		slotsCommit: after.slotsCommit - before.slotsCommit,
+		slotsPrune:  after.slotsPrune - before.slotsPrune,
+		avoided:     after.avoided - before.avoided,
+	}
 }
 
 // shiftSources maps each flop to the frame-1 net that reaches it after one

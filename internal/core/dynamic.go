@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"scap/internal/atpg"
 	"scap/internal/delayscale"
@@ -30,6 +31,14 @@ func (m PowerModel) String() string {
 	}
 	return "SCAP"
 }
+
+// tkIRDrop is the per-pattern IR-drop attribution table: the patterns
+// whose batched dynamic analysis produced the deepest combined chip
+// supply collapse (worst VDD sag + worst VSS bounce, in integer
+// nanovolts). Solved drops are exact deterministic products of the
+// pattern, so the table is bit-identical for any worker count.
+var tkIRDrop = obs.NewTopK("core.irdrop_hotspots", 16, "drop_nv",
+	"vdd_mv", "vss_mv", "stw_ns", "iter_vdd", "iter_vss")
 
 // DynamicIR is one pattern's dynamic IR-drop analysis.
 type DynamicIR struct {
@@ -179,6 +188,10 @@ func (sys *System) DynamicIRDropAll(fr *FlowResult, model PowerModel) ([]IRDropS
 			return err
 		}
 		sc.solVSS, sum.IterVSS = sol, sol.Iterations
+		nb := sys.D.NumBlocks
+		vdd, vss := sum.WorstVDD[nb], sum.WorstVSS[nb]
+		tkIRDrop.Record(int64(i), int64(math.Round((vdd+vss)*1e9)), model.String(),
+			vdd*1e3, vss*1e3, sum.STW, float64(sum.IterVDD), float64(sum.IterVSS))
 		return nil
 	}
 

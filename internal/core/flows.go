@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"scap/internal/atpg"
 	"scap/internal/fault"
@@ -12,6 +13,18 @@ import (
 	"scap/internal/sim"
 	"scap/internal/soc"
 )
+
+// tkPatterns is the per-pattern attribution table: the patterns whose
+// exact SCAP profiling found the highest chip-level switching power —
+// the candidates the ROADMAP's repair loop would re-fill. Cost is the
+// chip SCAP in integer nanowatts (a deterministic simulation product,
+// never wall time), so the table is bit-identical for any worker count.
+var tkPatterns = obs.NewTopK("core.pattern_hotspots", 16, "scap_nw",
+	"scap_mw", "cap_mw", "stw_ns", "toggles", "step", "target")
+
+// cAboveThreshold tallies AboveThreshold verdicts: how many profiled
+// patterns exceeded the paper's screening criterion.
+var cAboveThreshold = obs.NewCounter("core.patterns_above_threshold")
 
 // FlowResult is one complete pattern-generation flow for a clock domain.
 type FlowResult struct {
@@ -257,6 +270,9 @@ func (sys *System) ProfilePatternsAt(fr *FlowResult, idx []int) ([]PatternProfil
 		for b := 0; b < sys.D.NumBlocks; b++ {
 			pp.BlockSCAPVdd[b] = blocks[b].SCAPVdd
 		}
+		tkPatterns.Record(int64(pi), int64(math.Round(pp.ChipSCAPVdd*1e6)), fr.Name,
+			pp.ChipSCAPVdd, pp.ChipCAPVdd, pp.STW, float64(pp.Toggles),
+			float64(pp.Step), float64(pp.Target))
 		return nil
 	})
 	if err != nil {
@@ -274,6 +290,7 @@ func AboveThreshold(profiles []PatternProfile, block int, thresholdMW float64) i
 			n++
 		}
 	}
+	cAboveThreshold.Add(int64(n))
 	return n
 }
 

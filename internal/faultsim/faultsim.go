@@ -301,6 +301,7 @@ type Batch struct {
 // others hold their v1 value. GoodSim touches no Sim scratch and is safe
 // to call concurrently.
 func (fs *Sim) GoodSim(v1, pis []logic.Word, dom int, valid uint64) *Batch {
+	defer obs.TraceStart().End("faultsim", "good-sim")
 	b, cap1 := fs.frame1(v1, pis, dom, valid)
 	d := fs.d
 	v2 := make([]logic.Word, len(d.Flops))

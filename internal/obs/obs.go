@@ -24,6 +24,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // enabled gates every instrumentation entry point. Off by default so
@@ -51,13 +52,77 @@ var reg = struct {
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
 	perWorker map[string]*PerWorker
+	topks     map[string]*TopK
 	derived   map[string]func(counters map[string]int64) (float64, bool)
 }{
 	counters:  map[string]*Counter{},
 	gauges:    map[string]*Gauge{},
 	hists:     map[string]*Histogram{},
 	perWorker: map[string]*PerWorker{},
+	topks:     map[string]*TopK{},
 	derived:   map[string]func(map[string]int64) (float64, bool){},
+}
+
+// Reset zeroes every registered metric in place — counters, gauges,
+// histograms, per-worker vectors, hotspot tables — and clears the run
+// info, span tree, snapshot series and trace buffer, while keeping all
+// registrations (the instrumented packages' package-level vars stay
+// valid). It exists for multi-run processes (property tests comparing
+// worker counts, the future scapd serving loop) that need a fresh
+// attribution slate per run.
+func Reset() {
+	reg.mu.Lock()
+	for _, c := range reg.counters {
+		c.v.Store(0)
+	}
+	for _, g := range reg.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range reg.hists {
+		h.count.Store(0)
+		h.sumBits.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+	for _, p := range reg.perWorker {
+		p.n.Store(0)
+		for i := range p.v {
+			p.v[i].Store(0)
+		}
+	}
+	topks := make([]*TopK, 0, len(reg.topks))
+	for _, t := range reg.topks {
+		topks = append(topks, t)
+	}
+	reg.mu.Unlock()
+	for _, t := range topks {
+		t.reset()
+	}
+
+	runInfo.mu.Lock()
+	runInfo.kv = map[string]any{}
+	runInfo.mu.Unlock()
+
+	trace.mu.Lock()
+	trace.epoch = time.Time{}
+	trace.roots = nil
+	trace.cur = nil
+	trace.mu.Unlock()
+
+	series.mu.Lock()
+	series.epoch = time.Time{}
+	series.entries = nil
+	series.ticks = 0
+	series.stride = 0
+	series.mu.Unlock()
+
+	for i := range tracer.shards {
+		s := &tracer.shards[i]
+		s.mu.Lock()
+		s.next = 0
+		s.mu.Unlock()
+	}
 }
 
 // Counter is a monotonically increasing atomic count.
@@ -195,6 +260,39 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the exact sum of all samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts: it walks the cumulative distribution to the bucket holding
+// rank q·count and interpolates linearly inside it. Resolution is
+// therefore the bucket width (a factor of two); with no samples it
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			lo := bucketLo(i)
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*lo // bucket spans [lo, 2·lo)
+		}
+		cum += n
+	}
+	return bucketLo(histBuckets-1) * 2
+}
 
 // MaxWorkers bounds PerWorker attribution; worker ids beyond it fold
 // into the last slot.

@@ -11,11 +11,13 @@ import (
 // internals are reachable directly.
 func resetForTest(t *testing.T) {
 	t.Helper()
+	StopSnapshots()
 	reg.mu.Lock()
 	reg.counters = map[string]*Counter{}
 	reg.gauges = map[string]*Gauge{}
 	reg.hists = map[string]*Histogram{}
 	reg.perWorker = map[string]*PerWorker{}
+	reg.topks = map[string]*TopK{}
 	reg.derived = map[string]func(map[string]int64) (float64, bool){}
 	reg.mu.Unlock()
 	runInfo.mu.Lock()
@@ -26,8 +28,24 @@ func resetForTest(t *testing.T) {
 	trace.roots = nil
 	trace.cur = nil
 	trace.mu.Unlock()
+	series.mu.Lock()
+	series.epoch = time.Time{}
+	series.entries = nil
+	series.ticks = 0
+	series.stride = 0
+	series.mu.Unlock()
+	for i := range tracer.shards {
+		s := &tracer.shards[i]
+		s.mu.Lock()
+		s.buf = nil
+		s.next = 0
+		s.mu.Unlock()
+	}
+	DisableTrace()
 	Disable()
 	t.Cleanup(func() {
+		StopSnapshots()
+		DisableTrace()
 		Disable()
 		timeNow = time.Now
 	})

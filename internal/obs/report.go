@@ -18,8 +18,10 @@ import (
 // SchemaVersion identifies the run-report JSON layout. Bump it on any
 // structural change; the golden-file test pins the current shape.
 // v2 added the free-form `info` block (solver tier, mesh geometry,
-// sparse-factor fill — see SetRunInfo).
-const SchemaVersion = "scap/run-report/v2"
+// sparse-factor fill — see SetRunInfo). v3 added per-unit attribution:
+// top-K hotspot tables (`hotspots`), periodic metric snapshots
+// (`snapshots`) and p50/p95/p99 quantiles on histograms.
+const SchemaVersion = "scap/run-report/v3"
 
 // runInfo is the process-wide run-information block: small key/value
 // facts about how the run was configured or what the build produced
@@ -132,11 +134,25 @@ type HistBucket struct {
 	Count int64   `json:"count"`
 }
 
-// HistogramReport serializes one bounded histogram.
+// HistogramReport serializes one bounded histogram. The quantiles are
+// bucket-interpolated estimates (see Histogram.Quantile), resolved to
+// within a factor of two.
 type HistogramReport struct {
 	Count   int64        `json:"count"`
 	Sum     float64      `json:"sum"`
+	P50     float64      `json:"p50,omitempty"`
+	P95     float64      `json:"p95,omitempty"`
+	P99     float64      `json:"p99,omitempty"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// TopKReport serializes one hotspot table: the ranking cost's name, the
+// per-entry field names (aligning with each entry's Fields slice) and
+// the entries best-first.
+type TopKReport struct {
+	CostKey string     `json:"cost_key"`
+	Fields  []string   `json:"fields,omitempty"`
+	Entries []TopEntry `json:"entries"`
 }
 
 // Report is the versioned machine-readable run report the -report flag
@@ -153,6 +169,8 @@ type Report struct {
 	Gauges     map[string]int64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramReport `json:"histograms,omitempty"`
 	PerWorker  map[string][]int64         `json:"per_worker,omitempty"`
+	Hotspots   map[string]TopKReport      `json:"hotspots,omitempty"`
+	Snapshots  []Snapshot                 `json:"snapshots,omitempty"`
 	Derived    map[string]float64         `json:"derived,omitempty"`
 }
 
@@ -204,6 +222,18 @@ func BuildReport(tool string, config any) *Report {
 			r.PerWorker[name] = snap
 		}
 	}
+	for name, t := range reg.topks {
+		if entries := t.Snapshot(); len(entries) > 0 {
+			if r.Hotspots == nil {
+				r.Hotspots = map[string]TopKReport{}
+			}
+			r.Hotspots[name] = TopKReport{
+				CostKey: t.CostKey(),
+				Fields:  t.FieldNames(),
+				Entries: entries,
+			}
+		}
+	}
 	for name, fn := range reg.derived {
 		if v, ok := fn(counters); ok {
 			if r.Derived == nil {
@@ -213,6 +243,10 @@ func BuildReport(tool string, config any) *Report {
 		}
 	}
 	reg.mu.Unlock()
+
+	if snaps := Snapshots(); len(snaps) > 0 {
+		r.Snapshots = snaps
+	}
 
 	trace.mu.Lock()
 	for _, s := range trace.roots {
@@ -224,6 +258,11 @@ func BuildReport(tool string, config any) *Report {
 
 func histReport(h *Histogram) HistogramReport {
 	out := HistogramReport{Count: h.Count(), Sum: h.Sum()}
+	if out.Count > 0 {
+		out.P50 = h.Quantile(0.50)
+		out.P95 = h.Quantile(0.95)
+		out.P99 = h.Quantile(0.99)
+	}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
 			out.Buckets = append(out.Buckets, HistBucket{Lo: bucketLo(i), Count: n})
@@ -305,6 +344,75 @@ func (r *Report) SummaryTable() string {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(&b, "  %s = %.4g\n", k, r.Derived[k])
+		}
+	}
+	if s := r.quantileSummary(); s != "" {
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+	if s := r.hotspotSummary(); s != "" {
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// quantileSummary renders one line per non-empty histogram with its
+// count, mean and bucket-interpolated p50/p95/p99.
+func (r *Report) quantileSummary() string {
+	keys := make([]string, 0, len(r.Histograms))
+	for k, h := range r.Histograms {
+		if h.Count > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("histogram quantiles\n")
+	for _, k := range keys {
+		h := r.Histograms[k]
+		fmt.Fprintf(&b, "  %-40s n=%-8d mean=%-10.4g p50=%-10.4g p95=%-10.4g p99=%.4g\n",
+			k, h.Count, h.Sum/float64(h.Count), h.P50, h.P95, h.P99)
+	}
+	return b.String()
+}
+
+// summaryHotspotRows caps how many hotspot rows the exit summary prints
+// per table; the JSON report keeps the full top-K.
+const summaryHotspotRows = 8
+
+// hotspotSummary renders the top rows of each hotspot table.
+func (r *Report) hotspotSummary() string {
+	keys := make([]string, 0, len(r.Hotspots))
+	for k := range r.Hotspots {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		t := r.Hotspots[k]
+		fmt.Fprintf(&b, "hotspots: %s (top %d by %s)\n", k, len(t.Entries), t.CostKey)
+		fmt.Fprintf(&b, "  %10s %12s %-14s", "id", t.CostKey, "label")
+		for _, f := range t.Fields {
+			fmt.Fprintf(&b, " %12s", f)
+		}
+		b.WriteString("\n")
+		for i, e := range t.Entries {
+			if i >= summaryHotspotRows {
+				fmt.Fprintf(&b, "  … %d more in the JSON report\n", len(t.Entries)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %10d %12d %-14s", e.ID, e.Cost, e.Label)
+			for _, v := range e.Fields {
+				fmt.Fprintf(&b, " %12.4g", v)
+			}
+			b.WriteString("\n")
 		}
 	}
 	return b.String()

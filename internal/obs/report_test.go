@@ -36,6 +36,13 @@ func buildGoldenReport(t *testing.T) *Report {
 	SetRunInfo("solver", "sparse")
 	SetRunInfo("grid_mesh_n", 40)
 	SetRunInfo("sparse_fill_ratio", 2.5)
+	tk := NewTopK("atpg.fault_hotspots", 3, "waves", "backtracks", "pattern")
+	tk.Record(11, 400, "detected", 2, 5)
+	tk.Record(3, 1500, "aborted", 40, -1)
+	tk.Record(7, 900, "detected", 12, 0)
+	tk.Record(20, 100, "detected", 0, 1) // below the floor once full: rejected
+	TakeSnapshot()                       // t advances via the fake clock
+	TakeSnapshot()
 
 	flow := StartSpan("flow") // t=0
 	atpg := StartSpan("atpg") // t=10
@@ -70,7 +77,7 @@ func buildGoldenReport(t *testing.T) *Report {
 // with `go test ./internal/obs -run Golden -update`.
 func TestReportGolden(t *testing.T) {
 	r := buildGoldenReport(t)
-	if r.Schema != "scap/run-report/v2" {
+	if r.Schema != "scap/run-report/v3" {
 		t.Fatalf("schema = %q; bump the golden and this pin together", r.Schema)
 	}
 	got, err := json.MarshalIndent(r, "", "  ")
@@ -125,7 +132,12 @@ func TestReportWriteFile(t *testing.T) {
 func TestSummaryTable(t *testing.T) {
 	r := buildGoldenReport(t)
 	s := r.SummaryTable()
-	for _, want := range []string{"stage summary", "flow", "  atpg", "pgrid.factor.cache_hits = 6", "solver = sparse", "grid_mesh_n = 40"} {
+	for _, want := range []string{
+		"stage summary", "flow", "  atpg",
+		"pgrid.factor.cache_hits = 6", "solver = sparse", "grid_mesh_n = 40",
+		"histogram quantiles", "pgrid.sor.final_residual_v",
+		"hotspots: atpg.fault_hotspots (top 3 by waves)", "aborted",
+	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary table missing %q:\n%s", want, s)
 		}

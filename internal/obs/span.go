@@ -70,9 +70,11 @@ func (s *Span) End() {
 		return
 	}
 	now := timeNow()
+	first := false
 	trace.mu.Lock()
 	if s.end.IsZero() {
 		s.end = now
+		first = true
 	}
 	for c := trace.cur; c != nil; c = c.parent {
 		if c == s {
@@ -81,6 +83,25 @@ func (s *Span) End() {
 		}
 	}
 	trace.mu.Unlock()
+	// Mirror the finished span into the trace-event timeline (once).
+	if first && tracing.Load() {
+		traceSpan(s)
+	}
+}
+
+// CurrentStage returns the name of the innermost open span, or "" when
+// no stage is open (or instrumentation is off). The worker pool labels
+// its per-task trace events with it, once per For call.
+func CurrentStage() string {
+	if !enabled.Load() {
+		return ""
+	}
+	trace.mu.Lock()
+	defer trace.mu.Unlock()
+	if trace.cur == nil {
+		return ""
+	}
+	return trace.cur.name
 }
 
 // WallMs returns the span's wall time in milliseconds (0 while open).

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Time-series snapshots give a run's metrics a time axis: the CLIs'
+// -snapshot-interval flag samples the counter/gauge registry on a
+// ticker, and the samples land in the run report's `snapshots` array
+// (and on -metrics-addr, which rebuilds the report per request). Memory
+// stays bounded by decimation: when the series fills, every other
+// sample is dropped and the sampling stride doubles, so a run of any
+// length keeps uniform whole-run coverage in at most maxSnapshots
+// entries.
+
+// maxSnapshots bounds the in-memory series; at the default counter
+// population a snapshot is well under 1 KiB.
+const maxSnapshots = 360
+
+// Snapshot is one timed sample of the metric registry. AtMs is relative
+// to the first snapshot of the run.
+type Snapshot struct {
+	AtMs     float64          `json:"at_ms"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+var series struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	stride  int // record every stride-th tick (doubles on decimation)
+	ticks   int
+	entries []Snapshot
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// TakeSnapshot samples the registry now and appends it to the series
+// (a no-op while instrumentation is disabled). Zero-valued metrics are
+// omitted; decimation keeps the series bounded.
+func TakeSnapshot() {
+	if !enabled.Load() {
+		return
+	}
+	now := timeNow()
+	snap := Snapshot{}
+	reg.mu.Lock()
+	for name, c := range reg.counters {
+		if v := c.Value(); v != 0 {
+			if snap.Counters == nil {
+				snap.Counters = map[string]int64{}
+			}
+			snap.Counters[name] = v
+		}
+	}
+	for name, g := range reg.gauges {
+		if v := g.Value(); v != 0 {
+			if snap.Gauges == nil {
+				snap.Gauges = map[string]int64{}
+			}
+			snap.Gauges[name] = v
+		}
+	}
+	reg.mu.Unlock()
+
+	series.mu.Lock()
+	if series.epoch.IsZero() {
+		series.epoch = now
+	}
+	snap.AtMs = float64(now.Sub(series.epoch)) / float64(time.Millisecond)
+	series.entries = append(series.entries, snap)
+	if len(series.entries) >= maxSnapshots {
+		kept := series.entries[:0]
+		for i := 0; i < len(series.entries); i += 2 {
+			kept = append(kept, series.entries[i])
+		}
+		series.entries = kept
+		if series.stride == 0 {
+			series.stride = 1
+		}
+		series.stride *= 2
+	}
+	series.mu.Unlock()
+}
+
+// StartSnapshots begins sampling the registry every interval on a
+// background goroutine (replacing any previous sampler). Intervals
+// <= 0 are ignored.
+func StartSnapshots(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	StopSnapshots()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	series.mu.Lock()
+	series.stop, series.done = stop, done
+	if series.stride == 0 {
+		series.stride = 1
+	}
+	series.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				series.mu.Lock()
+				series.ticks++
+				take := series.ticks%series.stride == 0
+				series.mu.Unlock()
+				if take {
+					TakeSnapshot()
+				}
+			}
+		}
+	}()
+}
+
+// StopSnapshots stops the background sampler and waits for it to exit.
+// Safe to call when none is running.
+func StopSnapshots() {
+	series.mu.Lock()
+	stop, done := series.stop, series.done
+	series.stop, series.done = nil, nil
+	series.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Snapshots returns a copy of the recorded series, oldest first.
+func Snapshots() []Snapshot {
+	series.mu.Lock()
+	defer series.mu.Unlock()
+	out := make([]Snapshot, len(series.entries))
+	copy(out, series.entries)
+	return out
+}

@@ -91,6 +91,19 @@ func For(workers, n int, body func(worker, i int) error) error {
 		workers = n
 	}
 	measure := obs.On()
+	// Tracing rides on top of measurement (EnableTrace implies Enable):
+	// the stage label and sampling stride are resolved once per For, and
+	// each worker applies the stride to its own task count so the event
+	// set stays deterministic per worker.
+	traceOn := obs.TraceOn()
+	var stage string
+	var sample int64 = 1
+	if traceOn {
+		if stage = obs.CurrentStage(); stage == "" {
+			stage = "task"
+		}
+		sample = int64(obs.TraceTaskSample())
+	}
 	var t0 time.Time
 	if measure {
 		t0 = time.Now()
@@ -110,7 +123,16 @@ func For(workers, n int, body func(worker, i int) error) error {
 			pwTasks.Add(0, tasks)
 		}
 		for i := 0; i < n; i++ {
-			if err := body(0, i); err != nil {
+			sampled := traceOn && int64(i)%sample == 0
+			var ts time.Time
+			if sampled {
+				ts = time.Now()
+			}
+			err := body(0, i)
+			if sampled {
+				obs.TraceTask(0, stage, ts, time.Since(ts))
+			}
+			if err != nil {
 				flush(int64(i))
 				return err
 			}
@@ -148,7 +170,11 @@ func For(workers, n int, body func(worker, i int) error) error {
 				}
 				err := body(w, i)
 				if measure {
-					busy += time.Since(ts).Nanoseconds()
+					d := time.Since(ts)
+					busy += d.Nanoseconds()
+					if traceOn && tasks%sample == 0 {
+						obs.TraceTask(w, stage, ts, d)
+					}
 					tasks++
 				}
 				if err != nil {

@@ -53,6 +53,7 @@ func (g *Grid) Factor() (*Factorization, error) {
 
 // factorize assembles the banded conductance matrix and eliminates it.
 func factorize(g *Grid) (*Factorization, error) {
+	defer obs.TraceStart().End("pgrid", "banded-factor")
 	n := g.P.N
 	nn := n * n
 	bw := n

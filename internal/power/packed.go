@@ -54,6 +54,7 @@ func (e *PackedEstimate) CAPVdd(s int, periodNs float64) float64 {
 // immutable capacitance table and is safe to call concurrently on meter
 // clones.
 func (m *Meter) PackedEstimate(n1, n2 []logic.Word, valid uint64) *PackedEstimate {
+	defer obs.TraceStart().End("power", "packed-estimate")
 	cPackedEstimates.Add(1)
 	d := m.d
 	nb := d.NumBlocks
