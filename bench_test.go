@@ -601,13 +601,17 @@ func gridScaleGrid(b *testing.B, n int) (*pgrid.Grid, []float64) {
 }
 
 // BenchmarkGridScale is the asymptotic-crossover sweep behind the
-// sparse solver tier (DESIGN.md "Solver hierarchy"): per-pattern solve
-// time versus node count for each tier, n=32 through 512 (262,144
-// nodes). The banded tier stops at n=256 — at n=512 its factor alone
-// stores nn·bw ≈ 1 GB and costs O(N·bw²) ≈ 7e10 flops — and SOR stops
-// at n=128; the sparse tier runs the full range. The name deliberately
-// avoids the 'Solve|Factor' bench-json regex so the timed bench-json
-// pass doesn't run the sweep twice.
+// sparse and multigrid solver tiers (DESIGN.md "Solver hierarchy"):
+// per-pattern solve time versus node count for each tier, n=32 through
+// 2048 (4.2M nodes). The banded tier stops at n=256 — at n=512 its
+// factor alone stores nn·bw ≈ 1 GB and costs O(N·bw²) ≈ 7e10 flops —
+// SOR stops at n=128, and the sparse tier at n=512, where its factor
+// build already dominates; only the factor-free multigrid tiers run
+// the full range (mg cold-starts every solve, mg-warm warm-starts from
+// the converged base of the same injection, the per-pattern pipeline's
+// regime — the same split as sor vs a hypothetical sor-cold). The name
+// deliberately avoids the 'Solve|Factor' bench-json regex so the timed
+// bench-json pass doesn't run the sweep twice.
 func BenchmarkGridScale(b *testing.B) {
 	tiers := []struct {
 		name  string
@@ -665,8 +669,42 @@ func BenchmarkGridScale(b *testing.B) {
 				}
 			}
 		}},
+		{"mg", 2048, func(b *testing.B, g *pgrid.Grid, inj []float64) {
+			if _, err := g.MG(); err != nil {
+				b.Fatal(err)
+			}
+			var sol *pgrid.Solution
+			var scratch pgrid.SolveScratch
+			var err error
+			if sol, err = g.SolveMultigrid(inj, nil, sol, &scratch); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sol, err = g.SolveMultigrid(inj, nil, sol, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"mg-warm", 2048, func(b *testing.B, g *pgrid.Grid, inj []float64) {
+			var scratch pgrid.SolveScratch
+			base, err := g.SolveMultigrid(inj, nil, nil, &scratch) // warm the scratch
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := append([]float64(nil), base.Drop...)
+			sol := base
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sol, err = g.SolveMultigrid(inj, warm, sol, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
-	for _, n := range []int{32, 64, 128, 256, 512} {
+	for _, n := range []int{32, 64, 128, 256, 512, 1024, 2048} {
 		for _, tier := range tiers {
 			if n > tier.maxN {
 				continue

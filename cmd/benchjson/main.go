@@ -66,12 +66,7 @@ func main() {
 		Provenance: obs.CollectProvenance(),
 		Results:    []result{},
 	}
-	// A single-CPU host cannot separate serial from parallel variants;
-	// flag it in the report itself so a reader comparing bench files
-	// doesn't mistake flat parallel speedups for a regression.
-	if rep.Provenance.NumCPU == 1 {
-		rep.Warning = "benchmarked on a single-CPU host: serial and parallel variants are not comparable"
-	}
+	rep.Warning = provenanceWarning(rep.Provenance)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -111,6 +106,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// provenanceWarning flags host conditions that skew benchmark numbers:
+// a single-CPU host cannot separate serial from parallel variants, and
+// a GOMAXPROCS cap below the physical CPU count (cgroup quota,
+// throttled CI runner, explicit env) skews them the same way. The
+// warning lands in the report itself so a reader comparing bench files
+// doesn't mistake flat parallel speedups for a regression, and so
+// benchdiff widens its tolerances for the suspect run.
+func provenanceWarning(p obs.Provenance) string {
+	switch {
+	case p.NumCPU == 1:
+		return "benchmarked on a single-CPU host: serial and parallel variants are not comparable"
+	case p.GOMAXPROCS != p.NumCPU:
+		return fmt.Sprintf(
+			"benchmarked with GOMAXPROCS=%d on a %d-CPU host: parallel variants ran throttled",
+			p.GOMAXPROCS, p.NumCPU)
+	}
+	return ""
 }
 
 // writeReport encodes the report to path ("" or "-" = stdout), checking

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"scap/internal/obs"
+)
+
+// TestProvenanceWarning pins the host-condition flags benchdiff keys
+// its tolerance widening on: single-CPU wins over the GOMAXPROCS
+// mismatch, a matching multi-core host stays clean.
+func TestProvenanceWarning(t *testing.T) {
+	cases := []struct {
+		gomaxprocs, numCPU int
+		wants              string
+	}{
+		{1, 1, "single-CPU"},
+		{4, 4, ""},
+		{2, 8, "GOMAXPROCS=2"},
+		{8, 2, "GOMAXPROCS=8"},
+		{1, 16, "GOMAXPROCS=1"},
+	}
+	for _, c := range cases {
+		got := provenanceWarning(obs.Provenance{GOMAXPROCS: c.gomaxprocs, NumCPU: c.numCPU})
+		if c.wants == "" {
+			if got != "" {
+				t.Errorf("GOMAXPROCS=%d NumCPU=%d: unexpected warning %q", c.gomaxprocs, c.numCPU, got)
+			}
+			continue
+		}
+		if !strings.Contains(got, c.wants) {
+			t.Errorf("GOMAXPROCS=%d NumCPU=%d: warning %q missing %q", c.gomaxprocs, c.numCPU, got, c.wants)
+		}
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	diagnose [-scale N] [-defect F] [-patterns file] [-top K]
+//	diagnose [-scale N] [-defect F] [-patterns file] [-top K] [-workers W]
+//	         [-report F.json] [-metrics-addr :6060] [-trace F.json] [-snapshot-interval D]
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"scap/internal/atpg"
 	"scap/internal/core"
 	"scap/internal/diagnose"
+	"scap/internal/obs"
+	"scap/internal/parallel"
 	"scap/internal/pattern"
 	"scap/internal/soc"
 )
@@ -27,11 +30,19 @@ func main() {
 	defect := flag.Int("defect", -1, "fault index to inject (-1 = pick a detected one)")
 	patPath := flag.String("patterns", "", "pattern file from 'atpg -o' (empty = generate)")
 	top := flag.Int("top", 5, "candidates to report")
+	workers := flag.Int("workers", 0, "fault-sim workers (0 = all cores, 1 = serial)")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
+	die(parallel.ValidateWorkers(*workers))
+	die(obsFlags.Setup())
+
 	t0 := time.Now()
-	sys, err := core.Build(core.DefaultConfig(*scale))
+	cfg := core.DefaultConfig(*scale)
+	cfg.Workers = *workers
+	sys, err := core.Build(cfg)
 	die(err)
+	defer func() { die(obsFlags.Finish(os.Stdout, "diagnose", sys.Cfg)) }()
 
 	var pats []atpg.Pattern
 	genList := sys.NewFaultList()
@@ -66,10 +77,10 @@ func main() {
 	fmt.Printf("injected defect: fault %d = %s (block %s)\n",
 		pick, l.String(pick), soc.BlockName(l.Faults[pick].Block))
 
-	obs, err := diagnose.Observe(sys.FSim, l, pick, pats, 0)
+	tester, err := diagnose.Observe(sys.FSim, l, pick, pats, 0)
 	die(err)
 	failingPats, failingFlops := 0, 0
-	for _, ob := range obs {
+	for _, ob := range tester {
 		if len(ob.FailingFlops) > 0 {
 			failingPats++
 			failingFlops += len(ob.FailingFlops)
@@ -82,7 +93,7 @@ func main() {
 		return
 	}
 
-	cands, err := diagnose.Run(sys.FSim, l, obs, diagnose.Options{Dom: 0, TopK: *top})
+	cands, err := diagnose.Run(sys.FSim, l, tester, diagnose.Options{Dom: 0, TopK: *top})
 	die(err)
 	fmt.Printf("\ntop candidates (%v total):\n", time.Since(t0).Round(time.Millisecond))
 	fmt.Printf("%6s  %-28s %8s %10s %10s %9s\n", "rank", "fault", "score", "matched", "predicted", "observed")

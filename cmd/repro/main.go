@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro [-scale N] [-exp id] [-list] [-workers W]
+//	      [-report F.json] [-metrics-addr :6060] [-trace F.json] [-snapshot-interval D]
 //
 // With no -exp it runs every experiment (table1..table4, fig1..fig7) and
 // prints the combined report; -scale selects the design scale divisor
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"scap/internal/obs"
 	"scap/internal/parallel"
 	"scap/internal/repro"
 )
@@ -26,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment id ("+strings.Join(repro.Experiments, ", ")+"); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0, "pattern-analysis workers (0 = all cores, 1 = serial)")
+	obsFlags := obs.RegisterFlags()
 	flag.Parse()
 
 	if err := parallel.ValidateWorkers(*workers); err != nil {
@@ -37,6 +40,10 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if err := obsFlags.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
 	}
 	t0 := time.Now()
 	r, err := repro.NewWorkers(*scale, *workers)
@@ -60,4 +67,8 @@ func main() {
 	}
 	fmt.Print(out)
 	fmt.Printf("\ntotal runtime %v\n", time.Since(t0).Round(time.Millisecond))
+	if err := obsFlags.Finish(os.Stdout, "repro", r.Sys.Cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
 }

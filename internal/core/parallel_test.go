@@ -172,12 +172,19 @@ func TestDynamicIRDropAllSolverEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Solver = SolverSOR
+	// The iterative tiers (multigrid, SOR) run at a tolerance tight
+	// enough to compare against the exact solves.
 	for _, g := range []*pgrid.Grid{sys.GridVDD, sys.GridVSS} {
 		oldTol, oldIter := g.P.Tol, g.P.MaxIter
 		g.P.Tol, g.P.MaxIter = 1e-13, 400000
 		t.Cleanup(func() { g.P.Tol, g.P.MaxIter = oldTol, oldIter })
 	}
+	sys.Solver = SolverMG
+	mg, err := sys.DynamicIRDropAll(conv, ModelSCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Solver = SolverSOR
 	sor, err := sys.DynamicIRDropAll(conv, ModelSCAP)
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +217,48 @@ func TestDynamicIRDropAllSolverEquivalence(t *testing.T) {
 		}
 	}
 	compare("sparse", sparse)
+	compare("mg", mg)
 	compare("sor", sor)
+}
+
+// TestSolverAutoResolve pins the auto tier's size thresholds and that
+// concrete tiers pass through Resolve untouched.
+func TestSolverAutoResolve(t *testing.T) {
+	cases := []struct {
+		nodes int
+		want  Solver
+	}{
+		{40 * 40, SolverFactored},
+		{autoSparseNodes, SolverFactored},
+		{autoSparseNodes + 1, SolverSparse},
+		{512 * 512, SolverMG},
+		{autoMGNodes, SolverSparse},
+		{autoMGNodes + 1, SolverMG},
+	}
+	for _, c := range cases {
+		if got := SolverAuto.Resolve(c.nodes); got != c.want {
+			t.Errorf("auto at %d nodes resolved to %v, want %v", c.nodes, got, c.want)
+		}
+	}
+	for _, s := range []Solver{SolverFactored, SolverSparse, SolverMG, SolverSOR} {
+		if got := s.Resolve(1 << 20); got != s {
+			t.Errorf("%v resolved to %v, want unchanged", s, got)
+		}
+	}
+}
+
+// TestSolverParseRoundTrip: every tier's String() parses back to
+// itself, and bad names are rejected.
+func TestSolverParseRoundTrip(t *testing.T) {
+	for _, s := range []Solver{SolverFactored, SolverSparse, SolverMG, SolverSOR, SolverAuto} {
+		got, err := ParseSolver(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSolver(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSolver("multigrid"); err == nil {
+		t.Error("ParseSolver accepted an unknown name")
+	}
 }
 
 // TestMonteCarloIRDrop: determinism across worker counts, envelope

@@ -29,7 +29,45 @@ const (
 	// meshes the banded tier cannot hold. Per-pattern cost is two sparse
 	// triangular sweeps over nnz(L).
 	SolverSparse
+	// SolverMG solves by geometric V-cycle multigrid (red-black
+	// Gauss-Seidel smoothing, full-weighting/bilinear transfers, direct
+	// coarse solve) to the grid's Tol, with per-solve O(N) work and no
+	// factor storage at all — the tier for meshes where even the sparse
+	// factor's O(N·log N) bites. The smoother/residual/transfer passes
+	// fan out over the grid's Workers knob (row-blocked, bit-identical
+	// for any count), and per-pattern warm starts cut the V-cycle count
+	// the way they cut SOR sweeps.
+	SolverMG
+	// SolverAuto defers the choice to Build, which resolves it from the
+	// mesh node count: factored while the banded factor is cheap, sparse
+	// through the mid sizes, multigrid above autoMGNodes.
+	SolverAuto
 )
+
+// Auto-tier thresholds, in mesh nodes (N²): above autoSparseNodes the
+// banded factor's N³ storage stops being worth its simplicity; above
+// autoMGNodes the sparse factor's storage and build time lose to the
+// factor-free multigrid tier (the grid-scale sweep in EXPERIMENTS.md is
+// the calibration source).
+const (
+	autoSparseNodes = 1 << 12
+	autoMGNodes     = 1 << 17
+)
+
+// Resolve maps SolverAuto onto a concrete tier for a mesh of the given
+// node count; concrete tiers pass through unchanged.
+func (s Solver) Resolve(nodes int) Solver {
+	if s != SolverAuto {
+		return s
+	}
+	switch {
+	case nodes > autoMGNodes:
+		return SolverMG
+	case nodes > autoSparseNodes:
+		return SolverSparse
+	}
+	return SolverFactored
+}
 
 // String names the solver the way the -solver flag spells it.
 func (s Solver) String() string {
@@ -38,6 +76,10 @@ func (s Solver) String() string {
 		return "sor"
 	case SolverSparse:
 		return "sparse"
+	case SolverMG:
+		return "mg"
+	case SolverAuto:
+		return "auto"
 	}
 	return "factored"
 }
@@ -45,12 +87,12 @@ func (s Solver) String() string {
 // SolverNames lists the accepted -solver spellings, in the order the
 // CLIs document them. ParseSolver renders its error from this one list,
 // so every CLI rejects a bad -solver with the same accepted set.
-const SolverNames = "factored|sparse|sor"
+const SolverNames = "factored|sparse|mg|sor|auto"
 
 // SolverFlagUsage is the shared help text the CLIs register their
 // -solver flag with, so the three frontends (irdrop, flow, scap)
 // document the tiers identically.
-const SolverFlagUsage = "power-grid solver: factored (banded LDLᵀ, default) | sparse (nested-dissection LDLᵀ, large meshes) | sor (iterative fallback)"
+const SolverFlagUsage = "power-grid solver: factored (banded LDLᵀ, default) | sparse (nested-dissection LDLᵀ, large meshes) | mg (geometric multigrid, factor-free) | sor (iterative fallback) | auto (pick by mesh size)"
 
 // ParseSolver maps a -solver flag value onto a Solver.
 func ParseSolver(name string) (Solver, error) {
@@ -59,37 +101,47 @@ func ParseSolver(name string) (Solver, error) {
 		return SolverFactored, nil
 	case "sparse":
 		return SolverSparse, nil
+	case "mg":
+		return SolverMG, nil
 	case "sor":
 		return SolverSOR, nil
+	case "auto":
+		return SolverAuto, nil
 	}
 	return 0, fmt.Errorf("core: unknown solver %q (want %s)", name, SolverNames)
 }
 
 // solveRail solves one rail injection with the system's configured
 // solver. The reuse hooks are all optional: warm (an initial guess)
-// applies only to the SOR path, scratch applies to the factored and
-// sparse paths (they share the work vector), and reuse recycles the
-// Solution under all three.
+// applies to the iterative paths (SOR and multigrid), scratch applies
+// to the factored, sparse and multigrid paths, and reuse recycles the
+// Solution under all tiers. SolverAuto never reaches here — Build
+// resolves it to a concrete tier.
 func (sys *System) solveRail(g *pgrid.Grid, inj, warm []float64, reuse *pgrid.Solution, scratch *pgrid.SolveScratch) (*pgrid.Solution, error) {
 	switch sys.Solver {
 	case SolverSOR:
 		return g.SolveWarm(inj, warm, reuse)
 	case SolverSparse:
 		return g.SolveSparse(inj, reuse, scratch)
+	case SolverMG:
+		return g.SolveMultigrid(inj, warm, reuse, scratch)
 	}
 	return g.SolveFactored(inj, reuse, scratch)
 }
 
-// prefactor builds the configured direct factorization for g up front,
-// on the calling goroutine, so the one-time factor cost (and its obs
-// span) lands outside the worker pool and per-pattern timing. A no-op
-// for the iterative SOR tier.
+// prefactor builds the configured solver's one-time state for g up
+// front, on the calling goroutine, so the one-time cost (factorization
+// or multigrid hierarchy, and its obs span) lands outside the worker
+// pool and per-pattern timing. A no-op for the iterative SOR tier.
 func (sys *System) prefactor(g *pgrid.Grid) error {
 	switch sys.Solver {
 	case SolverSOR:
 		return nil
 	case SolverSparse:
 		_, err := g.SparseFactor()
+		return err
+	case SolverMG:
+		_, err := g.MG()
 		return err
 	}
 	_, err := g.Factor()

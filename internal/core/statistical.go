@@ -149,18 +149,19 @@ func (sys *System) MonteCarloIRDrop(trials int, seed int64) (*MCResult, error) {
 		fullCur[i] = d.LoadCap(netlist.InstID(i)) * d.Lib.VDD / window * 1e-3
 	}
 
-	// Deterministic warm-start baseline for the SOR fallback: the
-	// expected injection (the Case-2 VDD solve of the Statistical
-	// analysis). The factored path needs no guess — every trial is an
-	// exact solve against the shared factorization.
+	// Deterministic warm-start baseline for the iterative tiers (SOR and
+	// multigrid): the expected injection (the Case-2 VDD solve of the
+	// Statistical analysis), solved by the configured tier itself. The
+	// direct paths need no guess — every trial is an exact solve against
+	// the shared factorization.
 	g := sys.GridVDD
 	var warm []float64
-	if sys.Solver == SolverSOR {
+	if sys.Solver == SolverSOR || sys.Solver == SolverMG {
 		exp := power.StatCurrents(d, prob, window)
 		for i := range exp {
 			exp[i] /= 2
 		}
-		base, err := g.Solve(g.InjectInstCurrents(d, exp))
+		base, err := sys.solveRail(g, g.InjectInstCurrents(d, exp), nil, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: MC baseline: %w", err)
 		}

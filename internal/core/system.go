@@ -64,9 +64,11 @@ type Config struct {
 
 	// Solver picks the power-grid solve path: the cached banded-LDLᵀ
 	// factorization (SolverFactored, the default), the sparse LDLᵀ under
-	// a nested-dissection ordering (SolverSparse), or the iterative SOR
-	// fallback (SolverSOR). Grid calibration always uses the exact
-	// factored solve, so the built grids are identical across choices.
+	// a nested-dissection ordering (SolverSparse), geometric multigrid
+	// (SolverMG), the iterative SOR fallback (SolverSOR), or SolverAuto,
+	// which Build resolves from the mesh node count. Grid calibration
+	// always uses the exact factored solve, so the built grids are
+	// identical across choices.
 	Solver Solver
 }
 
@@ -151,6 +153,9 @@ func Build(cfg Config) (*System, error) {
 		Workers: cfg.Workers,
 		Solver:  cfg.Solver,
 	}
+	// Resolve the auto tier against the mesh size before anything solves;
+	// System.Solver always holds a concrete tier after Build.
+	sys.Solver = cfg.Solver.Resolve(cfg.Grid.N * cfg.Grid.N)
 	if err := sys.buildGrids(); err != nil {
 		return nil, err
 	}
@@ -181,6 +186,10 @@ func (sys *System) buildGrids() error {
 		return vdd, vss, nil
 	}
 	p := sys.Cfg.Grid
+	// The grids inherit the system's worker knob: it drives the multigrid
+	// passes and the sparse factorization's subtree fan-out (both
+	// bit-identical for any count, so this is purely a scheduling choice).
+	p.Workers = sys.Cfg.Workers
 	vdd, vss, err := mk(p)
 	if err != nil {
 		return fmt.Errorf("core: grid: %w", err)

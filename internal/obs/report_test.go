@@ -33,8 +33,20 @@ func buildGoldenReport(t *testing.T) *Report {
 	RegisterDerived("pgrid.factor.cache_hits", func(c map[string]int64) (float64, bool) {
 		return float64(c["pgrid.factor.calls"] - c["pgrid.factor.builds"]), c["pgrid.factor.calls"] > 0
 	})
-	SetRunInfo("solver", "sparse")
+	// The multigrid tier's per-solve family (see pgrid/multigrid.go).
+	NewCounter("pgrid.mg.solves").Add(4)
+	NewCounter("pgrid.mg.vcycles").Add(10)
+	NewGauge("pgrid.mg.levels").Max(3)
+	RegisterDerived("pgrid.mg.cycles_per_solve", func(c map[string]int64) (float64, bool) {
+		solves := c["pgrid.mg.solves"]
+		if solves <= 0 {
+			return 0, false
+		}
+		return float64(c["pgrid.mg.vcycles"]) / float64(solves), true
+	})
+	SetRunInfo("solver", "mg")
 	SetRunInfo("grid_mesh_n", 40)
+	SetRunInfo("mg_levels", 3)
 	SetRunInfo("sparse_fill_ratio", 2.5)
 	tk := NewTopK("atpg.fault_hotspots", 3, "waves", "backtracks", "pattern")
 	tk.Record(11, 400, "detected", 2, 5)
@@ -134,7 +146,8 @@ func TestSummaryTable(t *testing.T) {
 	s := r.SummaryTable()
 	for _, want := range []string{
 		"stage summary", "flow", "  atpg",
-		"pgrid.factor.cache_hits = 6", "solver = sparse", "grid_mesh_n = 40",
+		"pgrid.factor.cache_hits = 6", "solver = mg", "grid_mesh_n = 40",
+		"pgrid.mg.cycles_per_solve = 2.5", "mg_levels = 3",
 		"histogram quantiles", "pgrid.sor.final_residual_v",
 		"hotspots: atpg.fault_hotspots (top 3 by waves)", "aborted",
 	} {

@@ -1,0 +1,548 @@
+package pgrid
+
+import (
+	"fmt"
+	"math"
+
+	"scap/internal/obs"
+	"scap/internal/parallel"
+)
+
+// Geometric multigrid: the fourth solver tier (see DESIGN.md §16). The
+// direct tiers pay factor storage — N³ floats banded, O(N·logN) sparse —
+// that eventually bites on million-node meshes; multigrid solves the
+// same mesh equation iteratively in O(N) work per V-cycle with nothing
+// cached but the coarse-level pad aggregates and one tiny coarse-grid
+// factorization.
+//
+// The hierarchy exploits that every coarsening of the resistive sheet
+// is again the same problem: a 2D resistor mesh coarsened 2× has the
+// same per-segment conductance (sheet conductance is scale-invariant),
+// and the pad conductances aggregate under the full-weighting stencil.
+// So a level is just (n, padG) — structurally identical to the fine
+// grid — and the smoother, residual and transfer passes share one
+// 5-point kernel. The V-cycle uses red-black Gauss-Seidel smoothing
+// (each color pass reads only the other color, so row-blocked parallel
+// execution is bit-identical for any worker count), full-weighting
+// restriction with conservative boundary clamping, bilinear
+// prolongation, and a banded LDLᵀ direct solve on the coarsest level.
+// Cold solves bootstrap with one full-multigrid (FMG) descent before
+// iterating V-cycles to the grid's Tol.
+
+// Multigrid observability, mirroring the factor/sparse families: one
+// flush per solve. The residual histogram records the final max node
+// update per solve (same semantics as pgrid.sor.final_residual_v).
+var (
+	cMGSolves   = obs.NewCounter("pgrid.mg.solves")
+	cMGCycles   = obs.NewCounter("pgrid.mg.vcycles")
+	cMGSweeps   = obs.NewCounter("pgrid.mg.smoother_sweeps")
+	hMGResidual = obs.NewHistogram("pgrid.mg.final_residual_v")
+	gMGLevels   = obs.NewGauge("pgrid.mg.levels")
+)
+
+func init() {
+	obs.RegisterDerived("pgrid.mg.cycles_per_solve", func(c map[string]int64) (float64, bool) {
+		solves, cycles := c["pgrid.mg.solves"], c["pgrid.mg.vcycles"]
+		if solves <= 0 {
+			return 0, false
+		}
+		return float64(cycles) / float64(solves), true
+	})
+}
+
+const (
+	// mgCoarsestN caps the coarsest level's mesh edge: at or below it
+	// the level is solved directly by a banded LDLᵀ factorization (at
+	// most mgCoarsestN² nodes, a trivial factor). Grids no larger than
+	// this get a single-level hierarchy, making SolveMultigrid exact on
+	// the degenerate meshes (n=1,2,3, …).
+	mgCoarsestN = 16
+	// mgPreSweeps/mgPostSweeps are the red-black Gauss-Seidel smoothing
+	// sweeps per V-cycle around the coarse-grid correction: V(2,2).
+	mgPreSweeps  = 2
+	mgPostSweeps = 2
+	// mgMaxCycles bounds the top-level V-cycle iteration; a healthy
+	// V(2,2) cycle contracts the error ~10× per cycle, so hitting this
+	// cap means the hierarchy is broken, not that Tol is tight.
+	mgMaxCycles = 256
+	// mgParallelMinNodes gates the row-blocked fan-out: levels smaller
+	// than this run their passes inline (the pool dispatch would cost
+	// more than the pass). Purely a scheduling choice — results are
+	// bit-identical either way.
+	mgParallelMinNodes = 16384
+)
+
+// mgLevel is one grid of the hierarchy: an n×n mesh with the same
+// segment conductance as the fine grid and the full-weighting
+// aggregate of the pad conductances on its diagonal.
+type mgLevel struct {
+	n    int
+	padG []float64
+}
+
+// Multigrid is a built V-cycle hierarchy for one Grid: the level
+// operators (coarsened pad aggregates) plus the direct factorization of
+// the coarsest level. Like the two direct factorizations it is computed
+// once per Grid and immutable afterwards: any number of goroutines may
+// run SolveMultigrid concurrently against it as long as each passes its
+// own Solution/SolveScratch.
+type Multigrid struct {
+	levels []mgLevel // levels[0] is the fine grid
+	coarse *Factorization
+	gseg   float64
+}
+
+// Levels returns the hierarchy depth (1 for meshes at or below the
+// coarsest-level cap, which are solved directly).
+func (m *Multigrid) Levels() int { return len(m.levels) }
+
+// MG returns the grid's cached multigrid hierarchy, building it on
+// first use under the same sync.Once discipline as Factor/SparseFactor.
+func (g *Grid) MG() (*Multigrid, error) {
+	g.mgOnce.Do(func() {
+		g.mg, g.mgErr = buildMultigrid(g)
+	})
+	return g.mg, g.mgErr
+}
+
+// buildMultigrid coarsens the mesh 2× per level down to mgCoarsestN and
+// factors the coarsest operator.
+func buildMultigrid(g *Grid) (*Multigrid, error) {
+	defer obs.TraceStart().End("pgrid", "mg-build")
+	m := &Multigrid{gseg: 1 / g.P.SegRes}
+	m.levels = append(m.levels, mgLevel{n: g.P.N, padG: g.padG})
+	for {
+		cur := m.levels[len(m.levels)-1]
+		if cur.n <= mgCoarsestN {
+			break
+		}
+		nc := (cur.n + 1) / 2
+		if nc >= cur.n {
+			break
+		}
+		padGc := make([]float64, nc*nc)
+		restrictFW(cur.padG, cur.n, padGc, nc, 1, nil)
+		m.levels = append(m.levels, mgLevel{n: nc, padG: padGc})
+	}
+	bottom := m.levels[len(m.levels)-1]
+	f, err := levelFactorize(bottom.n, bottom.padG, m.gseg)
+	if err != nil {
+		return nil, err
+	}
+	m.coarse = f
+	gMGLevels.Max(int64(len(m.levels)))
+	obs.SetRunInfo("mg_levels", len(m.levels))
+	return m, nil
+}
+
+// mgScratch is the caller-owned per-solve state of the multigrid path:
+// one voltage/rhs/residual triple per level (level 0's voltage is the
+// Solution.Drop buffer and its rhs aliases the injection), the coarse
+// solve's forward vector, and the per-block maxima of the tracked
+// final smoothing sweep.
+type mgScratch struct {
+	v, rhs, res [][]float64
+	coarseY     []float64
+	blockMax    []float64
+	sweeps      int64
+}
+
+// grow sizes the scratch for hierarchy m (idempotent).
+func (s *mgScratch) grow(m *Multigrid) {
+	depth := len(m.levels)
+	if len(s.v) < depth {
+		s.v = make([][]float64, depth)
+		s.rhs = make([][]float64, depth)
+		s.res = make([][]float64, depth)
+	}
+	for l := 1; l < depth; l++ {
+		nn := m.levels[l].n * m.levels[l].n
+		if cap(s.v[l]) < nn {
+			s.v[l] = make([]float64, nn)
+			s.rhs[l] = make([]float64, nn)
+		}
+		s.v[l] = s.v[l][:nn]
+		s.rhs[l] = s.rhs[l][:nn]
+	}
+	for l := 0; l < depth-1; l++ {
+		nn := m.levels[l].n * m.levels[l].n
+		if cap(s.res[l]) < nn {
+			s.res[l] = make([]float64, nn)
+		}
+		s.res[l] = s.res[l][:nn]
+	}
+	cn := m.coarse.nn
+	if cap(s.coarseY) < cn {
+		s.coarseY = make([]float64, cn)
+	}
+	s.coarseY = s.coarseY[:cn]
+}
+
+// mgBlocks partitions an n-row pass over nodes total nodes into
+// row blocks for the worker pool; (1, n) means "run inline".
+func mgBlocks(workers, n, nodes int) (blocks, rowsPer int) {
+	if workers <= 1 || nodes < mgParallelMinNodes || n < 2 {
+		return 1, n
+	}
+	blocks = 4 * workers
+	if blocks > n {
+		blocks = n
+	}
+	rowsPer = (n + blocks - 1) / blocks
+	blocks = (n + rowsPer - 1) / rowsPer
+	return blocks, rowsPer
+}
+
+// mgRows fans body across the row blocks of an n-row pass. Each block
+// writes only its own rows' outputs and reads shared inputs, so the
+// result is bit-identical for any worker count (the body's per-node
+// arithmetic never depends on the partition).
+func mgRows(workers, n, nodes int, body func(block, iy0, iy1 int)) {
+	blocks, rowsPer := mgBlocks(workers, n, nodes)
+	if blocks == 1 {
+		body(0, 0, n)
+		return
+	}
+	_ = parallel.For(workers, blocks, func(_, b int) error {
+		iy0 := b * rowsPer
+		iy1 := iy0 + rowsPer
+		if iy1 > n {
+			iy1 = n
+		}
+		body(b, iy0, iy1)
+		return nil
+	})
+}
+
+// rbSweep runs one red-black Gauss-Seidel smoothing sweep (both colors,
+// colors strictly in order — a barrier between them) on level lev. When
+// track is set it returns the maximum node update of the sweep in mV
+// (the convergence measure, same semantics as SOR's per-sweep delta).
+func (m *Multigrid) rbSweep(lev, workers int, v, rhs []float64, scr *mgScratch, track bool) float64 {
+	n := m.levels[lev].n
+	padG := m.levels[lev].padG
+	gseg := m.gseg
+	nn := n * n
+	scr.sweeps++
+	blocks, _ := mgBlocks(workers, n, nn)
+	if track {
+		if cap(scr.blockMax) < blocks {
+			scr.blockMax = make([]float64, blocks)
+		}
+		scr.blockMax = scr.blockMax[:blocks]
+		for i := range scr.blockMax {
+			scr.blockMax[i] = 0
+		}
+	}
+	for color := 0; color <= 1; color++ {
+		mgRows(workers, n, nn, func(block, iy0, iy1 int) {
+			maxD := 0.0
+			for iy := iy0; iy < iy1; iy++ {
+				row := iy * n
+				for ix := (color + iy) & 1; ix < n; ix += 2 {
+					i := row + ix
+					sumG := padG[i]
+					sumGV := 0.0
+					if ix > 0 {
+						sumG += gseg
+						sumGV += gseg * v[i-1]
+					}
+					if ix < n-1 {
+						sumG += gseg
+						sumGV += gseg * v[i+1]
+					}
+					if iy > 0 {
+						sumG += gseg
+						sumGV += gseg * v[i-n]
+					}
+					if iy < n-1 {
+						sumG += gseg
+						sumGV += gseg * v[i+n]
+					}
+					nv := (sumGV + rhs[i]) / sumG
+					if track {
+						if d := math.Abs(nv - v[i]); d > maxD {
+							maxD = d
+						}
+					}
+					v[i] = nv
+				}
+			}
+			if track && maxD > scr.blockMax[block] {
+				scr.blockMax[block] = maxD
+			}
+		})
+	}
+	if !track {
+		return 0
+	}
+	maxD := 0.0
+	for _, d := range scr.blockMax {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// residual writes res = rhs − A·v on level lev.
+func (m *Multigrid) residual(lev, workers int, v, rhs, res []float64) {
+	n := m.levels[lev].n
+	padG := m.levels[lev].padG
+	gseg := m.gseg
+	mgRows(workers, n, n*n, func(_, iy0, iy1 int) {
+		for iy := iy0; iy < iy1; iy++ {
+			row := iy * n
+			for ix := 0; ix < n; ix++ {
+				i := row + ix
+				sumG := padG[i]
+				sumGV := 0.0
+				if ix > 0 {
+					sumG += gseg
+					sumGV += gseg * v[i-1]
+				}
+				if ix < n-1 {
+					sumG += gseg
+					sumGV += gseg * v[i+1]
+				}
+				if iy > 0 {
+					sumG += gseg
+					sumGV += gseg * v[i-n]
+				}
+				if iy < n-1 {
+					sumG += gseg
+					sumGV += gseg * v[i+n]
+				}
+				res[i] = rhs[i] + sumGV - sumG*v[i]
+			}
+		}
+	})
+}
+
+// restrictFW restricts fine (n×n) onto coarse (nc×nc) with the
+// full-weighting stencil, transposed from the bilinear prolongation
+// (R = Pᵀ): center 1, edge ½, corner ¼ — except that a fine odd
+// row/column whose second coarse parent falls outside the mesh (the
+// dangling boundary of an even n) contributes its full weight to the
+// one parent it has, exactly mirroring prolongAdd's clamp. Row sums of
+// Pᵀ being preserved means restriction conserves the total injected
+// current, so every coarse problem is the same physical sheet with
+// aggregated pads and currents.
+func restrictFW(fine []float64, n int, coarse []float64, nc, workers int, _ *mgScratch) {
+	mgRows(workers, nc, nc*nc, func(_, j0, j1 int) {
+		for J := j0; J < j1; J++ {
+			fy := 2 * J
+			crow := J * nc
+			for I := 0; I < nc; I++ {
+				fx := 2 * I
+				acc := 0.0
+				for dy := -1; dy <= 1; dy++ {
+					y := fy + dy
+					if y < 0 || y >= n {
+						continue
+					}
+					wy := 0.5
+					if dy == 0 {
+						wy = 1
+					} else if dy == 1 && J+1 >= nc {
+						wy = 1 // dangling fine row: sole parent
+					}
+					frow := y * n
+					for dx := -1; dx <= 1; dx++ {
+						x := fx + dx
+						if x < 0 || x >= n {
+							continue
+						}
+						wx := 0.5
+						if dx == 0 {
+							wx = 1
+						} else if dx == 1 && I+1 >= nc {
+							wx = 1
+						}
+						acc += wy * wx * fine[frow+x]
+					}
+				}
+				coarse[crow+I] = acc
+			}
+		}
+	})
+}
+
+// prolong interpolates coarse (nc×nc) onto fine (n×n) bilinearly,
+// adding into fine when add is set (the coarse-grid correction) and
+// overwriting otherwise (the FMG descent). The dangling odd boundary
+// of an even n clamps to its one coarse parent.
+func prolong(coarse []float64, nc int, fine []float64, n, workers int, add bool) {
+	mgRows(workers, n, n*n, func(_, iy0, iy1 int) {
+		for iy := iy0; iy < iy1; iy++ {
+			J0 := iy / 2
+			J1 := J0 + 1
+			if J1 >= nc {
+				J1 = J0
+			}
+			oddY := iy&1 == 1
+			row := iy * n
+			c0 := J0 * nc
+			c1 := J1 * nc
+			for ix := 0; ix < n; ix++ {
+				I0 := ix / 2
+				I1 := I0 + 1
+				if I1 >= nc {
+					I1 = I0
+				}
+				var val float64
+				switch {
+				case !oddY && ix&1 == 0:
+					val = coarse[c0+I0]
+				case !oddY:
+					val = 0.5 * (coarse[c0+I0] + coarse[c0+I1])
+				case ix&1 == 0:
+					val = 0.5 * (coarse[c0+I0] + coarse[c1+I0])
+				default:
+					val = 0.25 * (coarse[c0+I0] + coarse[c0+I1] + coarse[c1+I0] + coarse[c1+I1])
+				}
+				if add {
+					fine[row+ix] += val
+				} else {
+					fine[row+ix] = val
+				}
+			}
+		}
+	})
+}
+
+// vcycle runs one V-cycle rooted at level lev on scr's buffers. When
+// track is set (the top-level convergence check) it returns the max
+// node update of the final post-smoothing sweep in mV.
+func (m *Multigrid) vcycle(lev, workers int, scr *mgScratch, track bool) float64 {
+	v, rhs := scr.v[lev], scr.rhs[lev]
+	if lev == len(m.levels)-1 {
+		m.coarse.solveBand(rhs, v, scr.coarseY)
+		return 0
+	}
+	for s := 0; s < mgPreSweeps; s++ {
+		m.rbSweep(lev, workers, v, rhs, scr, false)
+	}
+	cur, nxt := m.levels[lev], m.levels[lev+1]
+	m.residual(lev, workers, v, rhs, scr.res[lev])
+	restrictFW(scr.res[lev], cur.n, scr.rhs[lev+1], nxt.n, workers, scr)
+	vc := scr.v[lev+1]
+	for i := range vc {
+		vc[i] = 0
+	}
+	m.vcycle(lev+1, workers, scr, false)
+	prolong(vc, nxt.n, v, cur.n, workers, true)
+	delta := 0.0
+	for s := 0; s < mgPostSweeps; s++ {
+		t := track && s == mgPostSweeps-1
+		if d := m.rbSweep(lev, workers, v, rhs, scr, t); t {
+			delta = d
+		}
+	}
+	return delta
+}
+
+// SolveMultigrid solves G·v = I for a per-node current injection (mA)
+// by geometric V-cycle multigrid to the grid's Tol (the same
+// max-node-update criterion as SOR), with the smoother, residual and
+// transfer passes row-blocked across Params.Workers workers — results
+// are bit-identical for any worker count. Inputs and outputs match
+// Solve (drops in volts); Iterations reports the V-cycle count.
+//
+// warm, when non-nil, seeds the iteration with a previous solution (the
+// per-pattern warm-start hook, same contract as SolveWarm — warm may
+// alias reuse.Drop); a cold solve bootstraps with one full-multigrid
+// descent instead. reuse and scratch recycle the Solution and the
+// per-level work buffers; both are per-caller state, one hierarchy
+// serves any number of concurrent solvers.
+func (g *Grid) SolveMultigrid(injMA, warm []float64, reuse *Solution, scratch *SolveScratch) (*Solution, error) {
+	m, err := g.MG()
+	if err != nil {
+		return nil, err
+	}
+	n := g.P.N
+	nn := n * n
+	if len(injMA) != nn {
+		return nil, fmt.Errorf("pgrid: injection length %d, want %d", len(injMA), nn)
+	}
+	if warm != nil && len(warm) != nn {
+		return nil, fmt.Errorf("pgrid: warm-start length %d, want %d", len(warm), nn)
+	}
+	sol := reuse
+	if sol == nil || cap(sol.Drop) < nn {
+		sol = &Solution{Drop: make([]float64, nn)}
+	}
+	sol.N = n
+	sol.Drop = sol.Drop[:nn]
+	sol.Iterations = 0
+	sol.Worst = 0
+	if scratch == nil {
+		scratch = &SolveScratch{}
+	}
+	if scratch.mg == nil {
+		scratch.mg = &mgScratch{}
+	}
+	scr := scratch.mg
+	scr.grow(m)
+	scr.sweeps = 0
+	workers := parallel.Resolve(g.P.Workers)
+
+	// Level 0 solves in place: the Solution buffer is the voltage (mV
+	// during iteration) and the injection is the rhs, read-only.
+	v := sol.Drop
+	scr.v[0] = v
+	scr.rhs[0] = injMA
+
+	if warm != nil {
+		for i := range v {
+			v[i] = warm[i] * 1e3 // V -> mV
+		}
+	} else if depth := len(m.levels); depth > 1 {
+		// FMG descent: restrict the injection itself down the hierarchy,
+		// solve the coarsest exactly, and interpolate upward with one
+		// V-cycle per level — a near-converged start for ~2 cycles' work.
+		for l := 0; l < depth-1; l++ {
+			restrictFW(scr.rhs[l], m.levels[l].n, scr.rhs[l+1], m.levels[l+1].n, workers, scr)
+		}
+		m.coarse.solveBand(scr.rhs[depth-1], scr.v[depth-1], scr.coarseY)
+		for l := depth - 2; l >= 1; l-- {
+			prolong(scr.v[l+1], m.levels[l+1].n, scr.v[l], m.levels[l].n, workers, false)
+			m.vcycle(l, workers, scr, false)
+		}
+		prolong(scr.v[1], m.levels[1].n, v, n, workers, false)
+	} else {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+
+	tolMV := g.P.Tol * 1e3
+	lastDelta := 0.0
+	converged := false
+	for cyc := 1; cyc <= mgMaxCycles; cyc++ {
+		lastDelta = m.vcycle(0, workers, scr, true)
+		sol.Iterations = cyc
+		if lastDelta < tolMV {
+			converged = true
+			break
+		}
+	}
+	// FMG restriction scribbled on rhs[l>0]; v/rhs level-0 aliases must
+	// not outlive the call (the caller owns those buffers).
+	scr.v[0], scr.rhs[0] = nil, nil
+	if !converged {
+		return nil, fmt.Errorf("pgrid: multigrid did not converge in %d V-cycles (last delta %g V)",
+			mgMaxCycles, lastDelta*1e-3)
+	}
+	cMGSolves.Add(1)
+	cMGCycles.Add(int64(sol.Iterations))
+	cMGSweeps.Add(scr.sweeps)
+	hMGResidual.Observe(lastDelta * 1e-3)
+	for i := range v {
+		v[i] *= 1e-3 // mV -> V
+		if v[i] > sol.Worst {
+			sol.Worst = v[i]
+		}
+	}
+	return sol, nil
+}

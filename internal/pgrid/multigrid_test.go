@@ -1,0 +1,299 @@
+package pgrid
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"scap/internal/place"
+)
+
+// mgGrid builds a mesh with the tight tolerance the oracle comparisons
+// need (the acceptance bar is 1e-6 V; mg converges to P.Tol).
+func mgGrid(t *testing.T, n, workers int, fp *place.Floorplan) *Grid {
+	t.Helper()
+	p := DefaultParams()
+	p.N = n
+	p.Tol = 1e-9
+	p.Workers = workers
+	if fp == nil {
+		fp = place.NewFloorplan()
+	}
+	g, err := New(fp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMultigridVsDenseOracle property-tests the mg tier against the
+// dense Gaussian oracle on randomized meshes, biased toward the
+// degenerate edge sizes (n=1,2,3 are single-level direct solves; the
+// larger picks exercise multi-level V-cycles and the FMG cold start).
+func TestMultigridVsDenseOracle(t *testing.T) {
+	const tol = 1e-6
+	f := func(seed uint32, nPick uint8, picks [4]uint16, amps [4]uint8) bool {
+		sizes := []int{1, 2, 3, 4, 5, 8, 12, 17, 20, 24, 33}
+		n := sizes[int(nPick)%len(sizes)]
+		g := mgGrid(t, n, 1, nil)
+		nn := n * n
+		inj := make([]float64, nn)
+		for i, pk := range picks {
+			inj[int(pk)%nn] += float64(amps[i]%40) + 1 + float64(seed%7)
+		}
+		mg, err := g.SolveMultigrid(inj, nil, nil, nil)
+		if err != nil {
+			t.Logf("n=%d: %v", n, err)
+			return false
+		}
+		dense, err := g.SolveDirect(inj)
+		if err != nil {
+			return false
+		}
+		for i := range mg.Drop {
+			if math.Abs(mg.Drop[i]-dense.Drop[i]) > tol {
+				t.Logf("n=%d node %d: mg %g dense %g", n, i, mg.Drop[i], dense.Drop[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultigridFourSolverAgreement closes the full solver square on the
+// default-calibration mesh: mg must agree with banded, sparse, and SOR
+// to the 1e-6 V acceptance bar.
+func TestMultigridFourSolverAgreement(t *testing.T) {
+	const tol = 1e-6
+	g := mgGrid(t, 40, 1, nil)
+	nn := 40 * 40
+	inj := make([]float64, nn)
+	for i := 0; i < nn; i += 7 {
+		inj[i] = 1 + float64(i%13)
+	}
+	mg, err := g.SolveMultigrid(inj, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := g.SolveFactored(inj, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := g.SolveSparse(inj, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sor, err := g.Solve(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mg.Drop {
+		if math.Abs(mg.Drop[i]-banded.Drop[i]) > tol ||
+			math.Abs(mg.Drop[i]-sparse.Drop[i]) > tol ||
+			math.Abs(mg.Drop[i]-sor.Drop[i]) > tol {
+			t.Fatalf("node %d: mg %g banded %g sparse %g sor %g",
+				i, mg.Drop[i], banded.Drop[i], sparse.Drop[i], sor.Drop[i])
+		}
+	}
+	if mg.Worst <= 0 {
+		t.Fatalf("worst drop %g, want > 0", mg.Worst)
+	}
+}
+
+// TestMultigridNonSquareFloorplan runs the oracle comparison over a
+// rectangular die (pads land asymmetrically, so padG loses the square
+// symmetry) at sizes spanning single- and multi-level hierarchies.
+func TestMultigridNonSquareFloorplan(t *testing.T) {
+	const tol = 1e-6
+	fp := &place.Floorplan{W: place.DieSize, H: 0.35 * place.DieSize}
+	for _, n := range []int{1, 2, 3, 7, 16, 21, 40} {
+		g := mgGrid(t, n, 1, fp)
+		nn := n * n
+		inj := make([]float64, nn)
+		for i := range inj {
+			inj[i] = float64((i*31)%17) * 0.5
+		}
+		inj[nn/2] += 25
+		mg, err := g.SolveMultigrid(inj, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		dense, err := g.SolveDirect(inj)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range mg.Drop {
+			if math.Abs(mg.Drop[i]-dense.Drop[i]) > tol {
+				t.Fatalf("n=%d node %d: mg %g dense %g", n, i, mg.Drop[i], dense.Drop[i])
+			}
+		}
+	}
+}
+
+// TestMultigridWorkerBitIdentity: the row-blocked passes must produce
+// bit-identical solutions for any worker count, on a mesh large enough
+// to cross the parallel fan-out threshold.
+func TestMultigridWorkerBitIdentity(t *testing.T) {
+	const n = 160 // 25600 nodes > mgParallelMinNodes on the top level
+	nn := n * n
+	inj := make([]float64, nn)
+	for i := range inj {
+		inj[i] = float64((i*13)%23) * 0.25
+	}
+	inj[nn/2+n/2] += 40
+	var ref []float64
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		g := mgGrid(t, n, workers, nil)
+		sol, err := g.SolveMultigrid(inj, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = append([]float64(nil), sol.Drop...)
+			continue
+		}
+		for i := range sol.Drop {
+			if sol.Drop[i] != ref[i] {
+				t.Fatalf("workers=%d node %d: %g != serial %g (must be bit-identical)",
+					workers, i, sol.Drop[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMultigridWarmStart: a warm start from the converged solution of
+// the same injection must agree with the cold solve and converge in a
+// single verification V-cycle; a perturbed-injection warm start must
+// still land on the perturbed solution.
+func TestMultigridWarmStart(t *testing.T) {
+	const tol = 1e-6
+	g := mgGrid(t, 40, 1, nil)
+	nn := 40 * 40
+	inj := make([]float64, nn)
+	for i := range inj {
+		inj[i] = float64((i*7)%11)
+	}
+	cold, err := g.SolveMultigrid(inj, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDrop := append([]float64(nil), cold.Drop...)
+
+	warm, err := g.SolveMultigrid(inj, coldDrop, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations != 1 {
+		t.Fatalf("converged warm start took %d cycles, want 1", warm.Iterations)
+	}
+	for i := range warm.Drop {
+		if math.Abs(warm.Drop[i]-coldDrop[i]) > tol {
+			t.Fatalf("node %d: warm %g cold %g", i, warm.Drop[i], coldDrop[i])
+		}
+	}
+
+	// Perturb the injection and warm-start in the solution's own buffer
+	// (the per-pattern pipeline's aliased use).
+	inj[nn/3] += 15
+	sol := warm
+	sol, err = g.SolveMultigrid(inj, sol.Drop, sol, &SolveScratch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := g.SolveDirect(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Drop {
+		if math.Abs(sol.Drop[i]-dense.Drop[i]) > tol {
+			t.Fatalf("node %d: warm-perturbed %g dense %g", i, sol.Drop[i], dense.Drop[i])
+		}
+	}
+}
+
+// TestMultigridConcurrentSolves shares one hierarchy across goroutines
+// (each with its own Solution/SolveScratch, per the documented contract)
+// and checks every result against the banded factor; run under -race
+// this pins the hierarchy's immutability after build.
+func TestMultigridConcurrentSolves(t *testing.T) {
+	g := mgGrid(t, 24, 2, nil)
+	nn := 24 * 24
+	if _, err := g.MG(); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	drops := make([][]float64, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			inj := make([]float64, nn)
+			for i := range inj {
+				inj[i] = float64(((i+w)*5)%9) + 1
+			}
+			var sol *Solution
+			scratch := &SolveScratch{}
+			for rep := 0; rep < 3; rep++ {
+				var err error
+				sol, err = g.SolveMultigrid(inj, nil, sol, scratch)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			drops[w] = append([]float64(nil), sol.Drop...)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", w, err)
+		}
+	}
+	for w, drop := range drops {
+		inj := make([]float64, nn)
+		for i := range inj {
+			inj[i] = float64(((i+w)*5)%9) + 1
+		}
+		want, err := g.SolveFactored(inj, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range drop {
+			if math.Abs(drop[i]-want.Drop[i]) > 1e-6 {
+				t.Fatalf("goroutine %d node %d: mg %g banded %g", w, i, drop[i], want.Drop[i])
+			}
+		}
+	}
+}
+
+// TestMultigridHierarchyShape pins the coarsening geometry: halving
+// down to the coarsest cap, one level for tiny meshes.
+func TestMultigridHierarchyShape(t *testing.T) {
+	cases := []struct {
+		n      int
+		levels int
+	}{
+		{1, 1}, {2, 1}, {16, 1}, {17, 2}, {40, 3}, {64, 3}, {65, 4},
+	}
+	for _, c := range cases {
+		g := mgGrid(t, c.n, 1, nil)
+		m, err := g.MG()
+		if err != nil {
+			t.Fatalf("n=%d: %v", c.n, err)
+		}
+		if m.Levels() != c.levels {
+			t.Errorf("n=%d: %d levels, want %d", c.n, m.Levels(), c.levels)
+		}
+		bottom := m.levels[len(m.levels)-1]
+		if bottom.n > mgCoarsestN {
+			t.Errorf("n=%d: coarsest level n=%d exceeds cap %d", c.n, bottom.n, mgCoarsestN)
+		}
+	}
+}

@@ -59,6 +59,10 @@ type Params struct {
 	MaxIter   int     // SOR iteration cap
 	Tol       float64 // convergence threshold on max node update, volts
 	Omega     float64 // SOR relaxation factor (1..2)
+	// Workers fans the multigrid smoother/residual/transfer passes across
+	// the internal/parallel pool (<= 0 means all cores, 1 forces the
+	// serial path). Results are bit-identical for any value.
+	Workers int
 }
 
 // DefaultParams returns a mesh calibrated to 180 nm package/grid
@@ -110,6 +114,12 @@ type Grid struct {
 	sparseOnce sync.Once
 	sparse     *SparseFactorization
 	sparseErr  error
+
+	// Cached geometric multigrid hierarchy (see multigrid.go); same lazy
+	// build / shared read-only discipline as the two factorizations.
+	mgOnce sync.Once
+	mg     *Multigrid
+	mgErr  error
 }
 
 // New builds the mesh over the floorplan's die.

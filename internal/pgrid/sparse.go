@@ -3,8 +3,11 @@ package pgrid
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"scap/internal/obs"
+	"scap/internal/parallel"
 )
 
 // Sparse-tier observability, mirroring the pgrid.factor.* family: calls
@@ -18,12 +21,24 @@ var (
 	cSparseSweeps = obs.NewCounter("pgrid.sparse.triangular_sweeps")
 	gSparseNNZ    = obs.NewGauge("pgrid.sparse.factor_nnz")
 	hSparseFill   = obs.NewHistogram("pgrid.sparse.fill_ratio")
+	// Subtree utilization of the parallel numeric pass: row chunks
+	// eliminated (one per recursion-tree node) vs chunks handed to a
+	// spawned goroutine.
+	cSubtreeTasks  = obs.NewCounter("pgrid.sparse.factor_subtree_tasks")
+	cSubtreeSpawns = obs.NewCounter("pgrid.sparse.factor_subtree_spawns")
 )
 
 func init() {
 	obs.RegisterDerived("pgrid.sparse.factor.cache_hits", func(c map[string]int64) (float64, bool) {
 		calls, builds := c["pgrid.sparse.factor.calls"], c["pgrid.sparse.factor.builds"]
 		return float64(calls - builds), calls > 0
+	})
+	obs.RegisterDerived("pgrid.sparse.factor_subtree_parallel_frac", func(c map[string]int64) (float64, bool) {
+		tasks, spawns := c["pgrid.sparse.factor_subtree_tasks"], c["pgrid.sparse.factor_subtree_spawns"]
+		if tasks <= 0 {
+			return 0, false
+		}
+		return float64(spawns) / float64(tasks), true
 	})
 }
 
@@ -35,6 +50,22 @@ type Ordering struct {
 	N     int
 	Perm  []int32
 	IPerm []int32
+	// tree is the nested-dissection recursion tree over elimination
+	// positions, appended post-order (the root is tree[len(tree)-1]).
+	// The parallel numeric factorization fans out over its independent
+	// subtrees.
+	tree []ndSpan
+}
+
+// ndSpan is one node of the nested-dissection recursion tree, expressed
+// in elimination positions: the subtree owns rows [lo, hi); its two
+// child regions cover [lo, sep) and are mutually independent (their
+// mesh nodes touch only through the separator), and the separator rows
+// [sep, hi) are eliminated after both children. A base-case leaf has
+// left = right = -1 and sep = lo: all its rows run serially.
+type ndSpan struct {
+	lo, sep, hi int32
+	left, right int32 // indices into Ordering.tree, -1 for a leaf
 }
 
 // NestedDissection computes a geometric nested-dissection ordering of
@@ -52,11 +83,12 @@ func NestedDissection(n int) *Ordering {
 		Perm:  make([]int32, 0, n*n),
 		IPerm: make([]int32, n*n),
 	}
-	var rec func(x0, y0, w, h int)
-	rec = func(x0, y0, w, h int) {
+	var rec func(x0, y0, w, h int) int32
+	rec = func(x0, y0, w, h int) int32 {
 		if w <= 0 || h <= 0 {
-			return
+			return -1
 		}
+		lo := int32(len(o.Perm))
 		// Base case: thin or tiny regions take a natural banded order
 		// with the shorter side fastest-varying (half-bandwidth ≤
 		// min(w, h) inside the region, so no separator could do better).
@@ -74,23 +106,36 @@ func NestedDissection(n int) *Ordering {
 					}
 				}
 			}
-			return
+			o.tree = append(o.tree, ndSpan{
+				lo: lo, sep: lo, hi: int32(len(o.Perm)), left: -1, right: -1,
+			})
+			return int32(len(o.tree) - 1)
 		}
+		var left, right int32
 		if w >= h {
 			mid := x0 + w/2
-			rec(x0, y0, mid-x0, h)
-			rec(mid+1, y0, x0+w-mid-1, h)
+			left = rec(x0, y0, mid-x0, h)
+			right = rec(mid+1, y0, x0+w-mid-1, h)
+			sep := int32(len(o.Perm))
 			for y := y0; y < y0+h; y++ {
 				o.Perm = append(o.Perm, int32(y*n+mid))
 			}
+			o.tree = append(o.tree, ndSpan{
+				lo: lo, sep: sep, hi: int32(len(o.Perm)), left: left, right: right,
+			})
 		} else {
 			mid := y0 + h/2
-			rec(x0, y0, w, mid-y0)
-			rec(x0, mid+1, w, y0+h-mid-1)
+			left = rec(x0, y0, w, mid-y0)
+			right = rec(x0, mid+1, w, y0+h-mid-1)
+			sep := int32(len(o.Perm))
 			for x := x0; x < x0+w; x++ {
 				o.Perm = append(o.Perm, int32(mid*n+x))
 			}
+			o.tree = append(o.tree, ndSpan{
+				lo: lo, sep: sep, hi: int32(len(o.Perm)), left: left, right: right,
+			})
 		}
+		return int32(len(o.tree) - 1)
 	}
 	rec(0, 0, n, n)
 	for k, node := range o.Perm {
@@ -236,56 +281,13 @@ func sparseFactorize(g *Grid) (*SparseFactorization, error) {
 	}
 	symSpan.End()
 
-	// Numeric pass: compute L and D column by column. Each row k of L is
-	// a sparse triangular solve whose pattern is the etree walk computed
-	// above; y is a dense accumulator that is zeroed back as entries are
-	// consumed, so the pass is O(flops) with no per-row allocation.
+	// Numeric pass: compute L and D column by column, fanned out over the
+	// independent nested-dissection subtrees (see numericFactor).
 	numSpan := obs.StartSpan("sparse-numeric")
 	f.rowIdx = make([]int32, nnzL)
 	f.lx = make([]float64, nnzL)
-	y := make([]float64, nn)
-	pattern := make([]int32, nn)
-	next := make([]int64, nn) // next free slot per column of L
-	copy(next, f.colPtr[:nn])
-	for k := 0; k < nn; k++ {
-		top := nn
-		flag[k] = int32(k)
-		for p := ap[k]; p < ap[k+1]; p++ {
-			i := ai[p]
-			y[i] += ax[p]
-			ln := 0
-			for flag[i] != int32(k) {
-				pattern[ln] = i
-				ln++
-				flag[i] = int32(k)
-				i = parent[i]
-			}
-			for ln > 0 {
-				ln--
-				top--
-				pattern[top] = pattern[ln]
-			}
-		}
-		dk := y[k]
-		y[k] = 0
-		for ; top < nn; top++ {
-			i := pattern[top]
-			yi := y[i]
-			y[i] = 0
-			p2 := next[i]
-			for p := f.colPtr[i]; p < p2; p++ {
-				y[f.rowIdx[p]] -= f.lx[p] * yi
-			}
-			lki := yi / f.d[i]
-			dk -= lki * yi
-			f.rowIdx[p2] = int32(k)
-			f.lx[p2] = lki
-			next[i] = p2 + 1
-		}
-		if dk <= 0 {
-			return nil, fmt.Errorf("pgrid: mesh matrix not positive definite at node %d (no pad path?)", perm[k])
-		}
-		f.d[k] = dk
+	if err := f.numericFactor(g.P.Workers, ap, ai, ax, parent); err != nil {
+		return nil, err
 	}
 	numSpan.End()
 
@@ -294,6 +296,150 @@ func sparseFactorize(g *Grid) (*SparseFactorization, error) {
 	obs.SetRunInfo("sparse_factor_nnz", f.NNZ())
 	obs.SetRunInfo("sparse_fill_ratio", math.Round(f.FillRatio()*1000)/1000)
 	return f, nil
+}
+
+// factorScratch is the dense working set of one in-flight subtree task
+// of the numeric factorization: the row accumulator, the etree-walk
+// pattern stack, and the visited-stamp array. Pooled across tasks; y
+// is kept zeroed by the elimination loop itself (entries are zeroed as
+// they are consumed), and flag needs no reset because stamps are global
+// row indices — each row is eliminated exactly once, so a stale stamp
+// can never equal a live one (row 0, the zero value, has an empty walk).
+type factorScratch struct {
+	y       []float64
+	pattern []int32
+	flag    []int32
+}
+
+// sparseSubtreeMinRows is the smallest child subtree worth handing to
+// its own goroutine; below it the spawn overhead beats the elimination
+// work. Purely a scheduling choice — the factor is bit-identical for
+// any worker count because independent subtrees own disjoint column
+// ranges (a child row's etree walk stops before any separator index).
+const sparseSubtreeMinRows = 2048
+
+// numericFactor runs the numeric elimination over the nested-dissection
+// recursion tree: the two child regions of every separator are
+// numerically independent (their columns are referenced by no row
+// outside their own subtree until the separator rows, which run after
+// both children join), so sibling subtrees factor in parallel across
+// goroutines, bounded by the workers knob. Shared state is written
+// disjointly: rows of L land in column slots owned by the writing
+// subtree, and d/next entries belong to exactly one subtree.
+func (f *SparseFactorization) numericFactor(workers int, ap []int64, ai []int32, ax []float64, parent []int32) error {
+	nn := f.nn
+	workers = parallel.Resolve(workers)
+	next := make([]int64, nn) // next free slot per column of L
+	copy(next, f.colPtr[:nn])
+
+	pool := sync.Pool{New: func() any {
+		return &factorScratch{
+			y:       make([]float64, nn),
+			pattern: make([]int32, nn),
+			flag:    make([]int32, nn),
+		}
+	}}
+
+	// The first failed row in elimination order wins, so the reported
+	// error is schedule-independent.
+	var (
+		errMu   sync.Mutex
+		errRow  = int32(math.MaxInt32)
+		nodeErr error
+	)
+	fail := func(k int32, err error) {
+		errMu.Lock()
+		if k < errRow {
+			errRow, nodeErr = k, err
+		}
+		errMu.Unlock()
+	}
+
+	perm := f.ord.Perm
+	// rows eliminates rows [k0, k1): each is a sparse triangular solve
+	// whose pattern is an etree walk, with y zeroed back as entries are
+	// consumed so a task is O(flops) with no per-row allocation.
+	rows := func(scr *factorScratch, k0, k1 int32) {
+		y, pattern, flag := scr.y, scr.pattern, scr.flag
+		for k := int(k0); k < int(k1); k++ {
+			top := nn
+			flag[k] = int32(k)
+			for p := ap[k]; p < ap[k+1]; p++ {
+				i := ai[p]
+				y[i] += ax[p]
+				ln := 0
+				for flag[i] != int32(k) {
+					pattern[ln] = i
+					ln++
+					flag[i] = int32(k)
+					i = parent[i]
+				}
+				for ln > 0 {
+					ln--
+					top--
+					pattern[top] = pattern[ln]
+				}
+			}
+			dk := y[k]
+			y[k] = 0
+			for ; top < nn; top++ {
+				i := pattern[top]
+				yi := y[i]
+				y[i] = 0
+				p2 := next[i]
+				for p := f.colPtr[i]; p < p2; p++ {
+					y[f.rowIdx[p]] -= f.lx[p] * yi
+				}
+				lki := yi / f.d[i]
+				dk -= lki * yi
+				f.rowIdx[p2] = int32(k)
+				f.lx[p2] = lki
+				next[i] = p2 + 1
+			}
+			if dk <= 0 {
+				fail(int32(k), fmt.Errorf("pgrid: mesh matrix not positive definite at node %d (no pad path?)", perm[k]))
+				return
+			}
+			f.d[k] = dk
+		}
+	}
+
+	// Fan out down the recursion tree: spawn the left child while the
+	// right runs inline, to a depth that keeps roughly 2× workers tasks
+	// in flight; small children stay inline.
+	spawnDepth := bits.Len(uint(workers))
+	tree := f.ord.tree
+	var walk func(idx int32, depth int)
+	walk = func(idx int32, depth int) {
+		nd := tree[idx]
+		cSubtreeTasks.Add(1)
+		if nd.left >= 0 {
+			l, r := tree[nd.left], tree[nd.right]
+			if workers > 1 && depth < spawnDepth &&
+				l.hi-l.lo >= sparseSubtreeMinRows && r.hi-r.lo >= sparseSubtreeMinRows {
+				cSubtreeSpawns.Add(1)
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					walk(nd.left, depth+1)
+				}()
+				walk(nd.right, depth+1)
+				wg.Wait()
+			} else {
+				walk(nd.left, depth+1)
+				walk(nd.right, depth+1)
+			}
+		}
+		if nd.sep == nd.hi {
+			return
+		}
+		scr := pool.Get().(*factorScratch)
+		rows(scr, nd.sep, nd.hi)
+		pool.Put(scr)
+	}
+	walk(int32(len(tree)-1), 0)
+	return nodeErr
 }
 
 // SolveSparse solves G·v = I for a per-node current injection (mA)

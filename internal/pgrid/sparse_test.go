@@ -214,3 +214,85 @@ func TestSparseFactorizationConcurrentSolves(t *testing.T) {
 		}
 	}
 }
+
+// TestNestedDissectionTreeCoverage: the recorded recursion tree
+// partitions the elimination range exactly — every row belongs to
+// precisely one node's serial chunk ([sep, hi)), children tile their
+// parent's [lo, sep), and the root spans the whole mesh.
+func TestNestedDissectionTreeCoverage(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		o := NestedDissection(n)
+		nn := int32(n * n)
+		if len(o.tree) == 0 {
+			t.Fatalf("n=%d: empty recursion tree", n)
+		}
+		root := o.tree[len(o.tree)-1]
+		if root.lo != 0 || root.hi != nn {
+			t.Fatalf("n=%d: root spans [%d, %d), want [0, %d)", n, root.lo, root.hi, nn)
+		}
+		covered := make([]int, nn)
+		for idx, nd := range o.tree {
+			if nd.lo > nd.sep || nd.sep > nd.hi {
+				t.Fatalf("n=%d node %d: bad span lo=%d sep=%d hi=%d", n, idx, nd.lo, nd.sep, nd.hi)
+			}
+			if (nd.left < 0) != (nd.right < 0) {
+				t.Fatalf("n=%d node %d: half-leaf (left=%d right=%d)", n, idx, nd.left, nd.right)
+			}
+			if nd.left >= 0 {
+				l, r := o.tree[nd.left], o.tree[nd.right]
+				if l.lo != nd.lo || l.hi != r.lo || r.hi != nd.sep {
+					t.Fatalf("n=%d node %d: children [%d,%d) [%d,%d) don't tile [%d,%d)",
+						n, idx, l.lo, l.hi, r.lo, r.hi, nd.lo, nd.sep)
+				}
+			} else if nd.sep != nd.lo {
+				t.Fatalf("n=%d node %d: leaf with sep %d != lo %d", n, idx, nd.sep, nd.lo)
+			}
+			for k := nd.sep; k < nd.hi; k++ {
+				covered[k]++
+			}
+		}
+		for k, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: row %d covered %d times", n, k, c)
+			}
+		}
+	}
+}
+
+// TestSparseParallelFactorBitIdentity: the numeric factorization must
+// produce a bit-identical factor for any worker count, on a mesh large
+// enough that the subtree fan-out actually spawns goroutines.
+func TestSparseParallelFactorBitIdentity(t *testing.T) {
+	const n = 128 // root children ≈ 8k rows each, above sparseSubtreeMinRows
+	factor := func(workers int) *SparseFactorization {
+		p := DefaultParams()
+		p.N = n
+		p.Workers = workers
+		g, err := New(place.NewFloorplan(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := g.SparseFactor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ref := factor(1)
+	for _, workers := range []int{2, 4, 7} {
+		f := factor(workers)
+		if len(f.lx) != len(ref.lx) {
+			t.Fatalf("workers=%d: nnz %d != serial %d", workers, len(f.lx), len(ref.lx))
+		}
+		for i := range f.lx {
+			if f.lx[i] != ref.lx[i] || f.rowIdx[i] != ref.rowIdx[i] {
+				t.Fatalf("workers=%d: factor entry %d differs (must be bit-identical)", workers, i)
+			}
+		}
+		for i := range f.d {
+			if f.d[i] != ref.d[i] {
+				t.Fatalf("workers=%d: d[%d] differs (must be bit-identical)", workers, i)
+			}
+		}
+	}
+}
